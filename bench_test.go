@@ -1,0 +1,185 @@
+package repro
+
+// One testing.B benchmark per paper artifact (DESIGN.md §4): running
+// `go test -bench=. -benchmem` regenerates every table, figure, claim, and
+// ablation and reports the headline metric of each as a custom benchmark
+// metric, so the paper's shapes are visible straight from the bench output.
+//
+// Absolute wall-clock numbers measure the *simulator*; the reproduced
+// quantities are the ReportMetric values (virtual-time ratios, utilization
+// percentages, overhead factors).
+
+import (
+	"testing"
+
+	"repro/internal/paper"
+)
+
+// benchArtifact regenerates one artifact per iteration and exports selected
+// metrics through b.ReportMetric.
+func benchArtifact(b *testing.B, id string, export map[string]string) {
+	b.Helper()
+	var last *paper.Artifact
+	for i := 0; i < b.N; i++ {
+		a, err := paper.Generate(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = a
+	}
+	for metric, unit := range export {
+		if v, ok := last.Metrics[metric]; ok {
+			b.ReportMetric(v, unit)
+		} else {
+			b.Fatalf("artifact %s missing metric %s", id, metric)
+		}
+	}
+}
+
+// BenchmarkTable1DeviceMatrix regenerates Table 1 (device properties seen
+// from a CPU); the exported metrics are the measured DRAM and far-memory
+// latencies bounding the table.
+func BenchmarkTable1DeviceMatrix(b *testing.B) {
+	benchArtifact(b, "table1", map[string]string{
+		"latency_ns/DRAM":         "DRAM-ns",
+		"latency_ns/Disagg. Mem.": "far-ns",
+	})
+}
+
+// BenchmarkTable2Regions regenerates Table 2 (the three predefined Memory
+// Regions) and exports each class's measured access cost.
+func BenchmarkTable2Regions(b *testing.B) {
+	benchArtifact(b, "table2", map[string]string{
+		"access_ns/Private Scratch": "priv-ns",
+		"access_ns/Global State":    "gstate-ns",
+		"access_ns/Global Scratch":  "gscratch-ns",
+	})
+}
+
+// BenchmarkTable3Apps runs all four Table 3 application workloads
+// (DBMS, ML, HPC, streaming) end-to-end.
+func BenchmarkTable3Apps(b *testing.B) {
+	benchArtifact(b, "table3", map[string]string{"placements": "regions"})
+}
+
+// BenchmarkFigure1Pooling contrasts compute-centric static provisioning
+// with the memory-centric pool (admission + utilization).
+func BenchmarkFigure1Pooling(b *testing.B) {
+	benchArtifact(b, "figure1", map[string]string{
+		"static_util": "static-util",
+		"pooled_util": "pooled-util",
+	})
+}
+
+// BenchmarkFigure2Hospital executes the Figure 2 hospital dataflow.
+func BenchmarkFigure2Hospital(b *testing.B) {
+	benchArtifact(b, "figure2", map[string]string{"makespan_ns": "makespan-ns"})
+}
+
+// BenchmarkFigure3Mapping regenerates the per-compute-device mapping of the
+// same logical region request.
+func BenchmarkFigure3Mapping(b *testing.B) {
+	benchArtifact(b, "figure3", map[string]string{
+		"latency_ns/node0/cpu0": "cpu-ns",
+		"latency_ns/node0/gpu0": "gpu-ns",
+	})
+}
+
+// BenchmarkFigure4Ownership contrasts zero-copy ownership transfer with
+// physical copies across handover sizes.
+func BenchmarkFigure4Ownership(b *testing.B) {
+	benchArtifact(b, "figure4", map[string]string{
+		"copy_ns/67108864": "copy64MiB-ns",
+	})
+}
+
+// BenchmarkClaimNUMA reproduces the ≈3× NUMA slowdown claim [39].
+func BenchmarkClaimNUMA(b *testing.B) {
+	benchArtifact(b, "claim-numa", map[string]string{"slowdown": "x-slowdown"})
+}
+
+// BenchmarkClaimPlacement reproduces the ≈3× naive-placement claim [59].
+func BenchmarkClaimPlacement(b *testing.B) {
+	benchArtifact(b, "claim-placement", map[string]string{"slowdown": "x-slowdown"})
+}
+
+// BenchmarkClaimUtilization reproduces the 50-65% utilization claim [38,56].
+func BenchmarkClaimUtilization(b *testing.B) {
+	benchArtifact(b, "claim-util", map[string]string{
+		"static_util": "static-util",
+		"pooled_util": "pooled-util",
+	})
+}
+
+// BenchmarkClaimFaultTolerance reproduces the Carbink trade-off [62]:
+// erasure coding's overhead vs replication's.
+func BenchmarkClaimFaultTolerance(b *testing.B) {
+	benchArtifact(b, "claim-fault", map[string]string{
+		"replication_overhead": "repl-x",
+		"erasure_overhead":     "ec-x",
+	})
+}
+
+// BenchmarkClaimSwizzle reproduces the pointer-swizzling win [37,48,62].
+func BenchmarkClaimSwizzle(b *testing.B) {
+	benchArtifact(b, "claim-swizzle", map[string]string{"speedup": "x-speedup"})
+}
+
+// BenchmarkAblationAsync measures the async far-memory interface (A1).
+func BenchmarkAblationAsync(b *testing.B) {
+	benchArtifact(b, "ablation-async", map[string]string{"speedup": "x-speedup"})
+}
+
+// BenchmarkAblationScheduler measures HEFT vs FIFO vs round-robin (A2).
+func BenchmarkAblationScheduler(b *testing.B) {
+	benchArtifact(b, "ablation-sched", map[string]string{
+		"makespan_ns/HEFT": "heft-ns",
+		"makespan_ns/FIFO": "fifo-ns",
+	})
+}
+
+// BenchmarkAblationCoherence measures shared vs exclusive ownership (A3).
+func BenchmarkAblationCoherence(b *testing.B) {
+	benchArtifact(b, "ablation-coherence", map[string]string{"ratio": "x-shared-cost"})
+}
+
+// BenchmarkAblationTiering measures hotness-driven region tiering (A4).
+func BenchmarkAblationTiering(b *testing.B) {
+	benchArtifact(b, "ablation-tiering", map[string]string{"speedup": "x-speedup"})
+}
+
+// BenchmarkAblationPlanner measures the declarative access-plan compiler (A5).
+func BenchmarkAblationPlanner(b *testing.B) {
+	benchArtifact(b, "ablation-planner", map[string]string{
+		"plan_ns/memnode0/far0": "far-plan-ns",
+		"d1_ns/memnode0/far0":   "far-sync-ns",
+	})
+}
+
+// BenchmarkAblationMultiJob measures concurrent job serving (A6).
+func BenchmarkAblationMultiJob(b *testing.B) {
+	benchArtifact(b, "ablation-multijob", map[string]string{"speedup": "x-speedup"})
+}
+
+// BenchmarkAblationRecovery measures checkpointed restart (A7).
+func BenchmarkAblationRecovery(b *testing.B) {
+	benchArtifact(b, "ablation-recovery", map[string]string{"speedup": "x-speedup"})
+}
+
+// BenchmarkFigure1Sweep runs the offered-load sweep behind Figure 1 and
+// exports the saturation point: static utilization ceiling vs pooled.
+func BenchmarkFigure1Sweep(b *testing.B) {
+	benchArtifact(b, "figure1-sweep", map[string]string{
+		"static_util/load_1.04": "static-ceiling",
+		"pooled_util/load_1.04": "pooled-ceiling",
+	})
+}
+
+// BenchmarkTable1Sweep runs the access-size sweep and exports the
+// latency-vs-bandwidth crossover compression.
+func BenchmarkTable1Sweep(b *testing.B) {
+	benchArtifact(b, "table1-sweep", map[string]string{
+		"far_vs_dram_small": "x-at-64B",
+		"far_vs_dram_large": "x-at-64MiB",
+	})
+}

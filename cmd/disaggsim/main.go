@@ -1,0 +1,180 @@
+// Command disaggsim runs one of the built-in dataflow workloads on the
+// simulated disaggregated testbed and prints the runtime's report:
+// where every task was scheduled, which physical device every Memory
+// Region landed on, the virtual makespan, and the cross-layer profile.
+//
+// Usage:
+//
+//	disaggsim -job hospital
+//	disaggsim -job dbms -scheduler fifo -placer worst
+//	disaggsim -job ml -profile
+//	disaggsim -jobs hospital,dbms,streaming     # concurrent multi-job serving
+//
+// Jobs: hospital, dbms, ml, hpc, streaming, graph.
+// Schedulers: heft (default), fifo, rr.
+// Placers: best (default), first, worst, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/placement"
+	"repro/internal/region"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	jobName := flag.String("job", "hospital", "workload: hospital|dbms|ml|hpc|streaming|graph")
+	jobList := flag.String("jobs", "", "comma-separated workloads to serve concurrently (overrides -job)")
+	schedName := flag.String("scheduler", "heft", "scheduler: heft|fifo|rr")
+	placerName := flag.String("placer", "best", "placement policy: best|first|worst|random")
+	profile := flag.Bool("profile", false, "print the cross-layer telemetry profile")
+	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file")
+	seed := flag.Int64("seed", 1, "seed for the random placer")
+	flag.Parse()
+
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		fatal(err)
+	}
+
+	var placer region.Placer
+	switch *placerName {
+	case "best":
+		placer = placement.NewBestFit(topo)
+	case "first":
+		placer = region.FirstFit{Topo: topo}
+	case "worst":
+		placer = placement.NewWorst(topo)
+	case "random":
+		placer = placement.NewRandom(topo, *seed)
+	default:
+		fatal(fmt.Errorf("unknown placer %q", *placerName))
+	}
+
+	var scheduler sched.Scheduler
+	switch *schedName {
+	case "heft":
+		scheduler = sched.HEFT{}
+	case "fifo":
+		scheduler = sched.FIFO{}
+	case "rr":
+		scheduler = sched.RoundRobin{}
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *schedName))
+	}
+
+	buildJob := func(name string) (*dataflow.Job, error) {
+		switch name {
+		case "hospital":
+			return workload.Hospital(workload.DefaultHospital()), nil
+		case "dbms":
+			return workload.DBMS(workload.DefaultDBMS()), nil
+		case "ml":
+			return workload.ML(workload.DefaultML()), nil
+		case "hpc":
+			return workload.HPC(workload.DefaultHPC()), nil
+		case "streaming":
+			return workload.Streaming(workload.DefaultStreaming()), nil
+		case "graph":
+			return workload.Graph(workload.DefaultGraph()), nil
+		default:
+			return nil, fmt.Errorf("unknown job %q", name)
+		}
+	}
+
+	tel := telemetry.NewRegistry()
+	rt, err := core.New(core.Config{
+		Topology: topo, Placer: placer, Scheduler: scheduler, Telemetry: tel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jobList != "" {
+		var jobs []*dataflow.Job
+		for _, name := range strings.Split(*jobList, ",") {
+			j, err := buildJob(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		rep, err := rt.RunAll(jobs, core.MultiConfig{ComputeStretch: true})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("sequential baseline: %v (concurrency saves %.1f%%)\n",
+			rep.SumIsolated, 100*(1-float64(rep.Makespan)/float64(rep.SumIsolated)))
+		if *profile {
+			fmt.Println()
+			fmt.Print(tel.Report())
+		}
+		writeTrace(tel, *traceOut)
+		return
+	}
+
+	var job *dataflow.Job
+	switch *jobName {
+	case "hospital":
+		job = workload.Hospital(workload.DefaultHospital())
+	case "dbms":
+		job = workload.DBMS(workload.DefaultDBMS())
+	case "ml":
+		job = workload.ML(workload.DefaultML())
+	case "hpc":
+		job = workload.HPC(workload.DefaultHPC())
+	case "streaming":
+		job = workload.Streaming(workload.DefaultStreaming())
+	case "graph":
+		job = workload.Graph(workload.DefaultGraph())
+	default:
+		fatal(fmt.Errorf("unknown job %q", *jobName))
+	}
+
+	rep, err := rt.Run(job)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+	fmt.Println("\npeak device allocation:")
+	for _, m := range topo.Memories() {
+		if b, ok := rep.PeakDeviceBytes[m.ID]; ok && b > 0 {
+			fmt.Printf("  %-18s %d bytes\n", m.ID, b)
+		}
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(tel.Report())
+	}
+	writeTrace(tel, *traceOut)
+}
+
+func writeTrace(tel *telemetry.Registry, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tel.ExportChromeTrace(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disaggsim:", err)
+	os.Exit(1)
+}

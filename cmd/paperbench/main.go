@@ -1,0 +1,75 @@
+// Command paperbench regenerates the tables, figures, and quantitative
+// claims of "Programming Fully Disaggregated Systems" (HotOS '23) from the
+// simulated system in this repository.
+//
+// Usage:
+//
+//	paperbench                  # print every artifact
+//	paperbench -artifact table1 # print one artifact
+//	paperbench -list            # list artifact IDs
+//	paperbench -metrics         # also print the structured metrics
+//	paperbench -out artifacts/  # archive every artifact as a text file
+//
+// See DESIGN.md §4 for the artifact index and EXPERIMENTS.md for the
+// paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/paper"
+)
+
+func main() {
+	artifact := flag.String("artifact", "", "artifact ID to generate (default: all)")
+	list := flag.Bool("list", false, "list artifact IDs and exit")
+	metrics := flag.Bool("metrics", false, "print structured metrics after each artifact")
+	outDir := flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, id := range paper.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := paper.IDs()
+	if *artifact != "" {
+		ids = []string{*artifact}
+	}
+	for i, id := range ids {
+		a, err := paper.Generate(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s — %s ===\n", a.ID, a.Title)
+		fmt.Print(a.Text)
+		if *outDir != "" {
+			body := fmt.Sprintf("%s\n\n%s", a.Title, a.Text)
+			if err := os.WriteFile(filepath.Join(*outDir, a.ID+".txt"), []byte(body), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", a.ID, err)
+				os.Exit(1)
+			}
+		}
+		if *metrics {
+			fmt.Println("metrics:")
+			for _, k := range paper.MetricKeys(a) {
+				fmt.Printf("  %-40s %g\n", k, a.Metrics[k])
+			}
+		}
+	}
+}

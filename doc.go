@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go implementation of the system envisioned
+// in "Programming Fully Disaggregated Systems" (Anneser, Vogel, Gruber,
+// Bandle, Giceva — HotOS '23): a declarative, memory-centric programming
+// model for dataflow applications on disaggregated hardware, together with
+// the runtime system (typed Memory Regions, ownership, property-driven
+// placement, resource-aware scheduling, coherence accounting, and
+// fault-tolerant far memory) and a deterministic simulator of the hardware
+// the paper assumes (CXL pools, accelerators, NIC-attached memory nodes).
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-artifact reproduction. The public
+// programming model lives in internal/core and internal/dataflow; the
+// paper's tables and figures regenerate via cmd/paperbench and the
+// benchmarks in bench_test.go.
+package repro

@@ -1,0 +1,138 @@
+// Sharedmem: the paper's §2.1 communication pattern in isolation —
+// "performance-critical inter-task communication is being implemented via
+// message-passing over shared memory" [41] — plus Broom-style region
+// allocation [25].
+//
+// A producer and a consumer (think: two tasks of a dataflow, pinned to
+// different CPU sockets) exchange records through a ring buffer that lives
+// inside a shared, coherent Memory Region. The records themselves are
+// bump-allocated in a Broom-style arena inside a transferable region: the
+// producer builds an object graph GC-free, hands the whole region over by
+// ownership transfer (zero copies), and sends only the 8-byte Ref through
+// the ring.
+//
+// Run with: go run ./examples/sharedmem
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/channel"
+	"repro/internal/placement"
+	"repro/internal/props"
+	"repro/internal/region"
+	"repro/internal/topology"
+)
+
+func main() {
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The control channel: a ring in coherent Global State, shared by
+	//    producer (cpu0) and consumer (cpu1).
+	ringRegion, err := mgr.Alloc(region.Spec{
+		Name: "ring", Class: props.GlobalState, Size: channel.Geometry(16, 32),
+		Owner: "producer", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ringConsumer, err := ringRegion.Share("consumer", "node0/cpu1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx, err := channel.Attach(ringRegion, 16, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rx, err := channel.Attach(ringConsumer, 16, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var now time.Duration
+	if now, err = tx.Init(0); err != nil {
+		log.Fatal(err)
+	}
+	ringDev, _ := ringRegion.DeviceID()
+	fmt.Printf("ring buffer lives on %s (coherent, shared cpu0↔cpu1)\n", ringDev)
+
+	// 2. The data plane: an arena of records in a transferable region.
+	dataRegion, err := mgr.Alloc(region.Spec{
+		Name: "records", Class: props.Transfer, Size: 64 << 10,
+		Owner: "producer", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := arena.New(dataRegion)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Producer: build a GC-free linked list of readings and announce the
+	// head Ref through the ring.
+	head := arena.NilRef
+	for i := 1; i <= 8; i++ {
+		head, now, err = a.Push(now, head, uint64(i*i))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	msg := make([]byte, 16)
+	binary.BigEndian.PutUint64(msg[:8], uint64(head))
+	binary.BigEndian.PutUint64(msg[8:], uint64(a.Used()))
+	if now, err = tx.Send(now, msg, time.Microsecond, 100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("producer built %d records (%d arena bytes) and sent Ref %d through the ring\n",
+		a.Live(), a.Used(), head)
+
+	// Ownership handover: the out becomes the in (Fig. 4) — zero copies.
+	consumerData, cost, err := dataRegion.Transfer(now, "consumer", "node0/cpu1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("record region handed to the consumer (transfer cost: %v)\n", cost-now)
+
+	// Consumer: receive the Ref, re-attach the arena, walk the graph.
+	got, now, err := rx.Recv(now, time.Microsecond, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := arena.Ref(binary.BigEndian.Uint64(got[:8]))
+	bump := int64(binary.BigEndian.Uint64(got[8:]))
+	a2, err := arena.Attach(consumerData, bump)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum uint64
+	count := 0
+	if now, err = a2.Walk(now, ref, func(v uint64) bool {
+		sum += v
+		count++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer walked %d records, sum %d, virtual time %v\n", count, sum, now)
+
+	if err := consumerData.Release(); err != nil {
+		log.Fatal(err)
+	}
+	ringConsumer.Release()
+	ringRegion.Release()
+	if mgr.Live() != 0 {
+		log.Fatalf("leaked %d regions", mgr.Live())
+	}
+	fmt.Println("✓ zero regions leaked — lifetimes tracked by ownership, not GC")
+}

@@ -1,0 +1,79 @@
+// Streaming: the Table 3 streaming row, plus the paper's fault-tolerance
+// discussion (challenge 8(3)) made concrete.
+//
+// A windowed aggregation runs on the runtime; its window results are then
+// checkpointed into *erasure-coded far memory* (the Carbink-style store).
+// We crash a memory node mid-demo, read the checkpoint back through the
+// degraded path, recover full redundancy, and verify nothing was lost —
+// all with the ~1.5× memory overhead of RS(6,4) instead of replication's 3×.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func main() {
+	rt, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := workload.StreamingConfig{Events: 1024, EventSize: 128, WindowSize: 128, Keys: 32}
+	report, err := rt.Run(workload.Streaming(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.String())
+
+	// Checkpoint the pipeline's result cache into fault-tolerant far memory.
+	fmt.Println("\ncheckpointing window results into erasure-coded far memory:")
+	fabric := cluster.NewFabric(cluster.Config{})
+	for i := 0; i < 6; i++ {
+		if err := fabric.AddNode(fmt.Sprintf("memnode%d", i), 1<<24); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, err := fault.NewErasureStore(fabric, fault.ErasureConfig{Data: 4, Parity: 2, SpanSize: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	checkpoint := []byte(fmt.Sprintf("streaming checkpoint: makespan=%v windows=%d", report.Makespan, cfg.Events/cfg.WindowSize))
+	id, putTime, err := store.Put(checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	logical, physical := store.StoredBytes()
+	fmt.Printf("  stored %d logical bytes as %d physical (%.2f× overhead) in %v\n",
+		logical, physical, float64(physical)/float64(logical), putTime)
+
+	fmt.Println("  crashing memnode0 ...")
+	if err := fabric.Crash("memnode0"); err != nil {
+		log.Fatal(err)
+	}
+	got, degradedTime, err := store.Get(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, checkpoint) {
+		log.Fatal("checkpoint corrupted after crash!")
+	}
+	fmt.Printf("  degraded read reconstructed the checkpoint in %v\n", degradedTime)
+
+	repaired, recTime, err := store.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recovery rebuilt %d shard(s) in %v — full redundancy restored\n", repaired, recTime)
+	fmt.Println("✓ no data lost across the node crash")
+}

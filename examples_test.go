@@ -1,0 +1,40 @@
+package repro_test
+
+// Keeps every runnable example green: each one is built and executed via
+// the Go toolchain. Skipped under -short (they spawn processes).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn subprocesses; skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string // substring the example must print
+	}{
+		{"./examples/quickstart", "virtual makespan"},
+		{"./examples/hospital", "missing-patient ledger survives a crash"},
+		{"./examples/dbms", "naive is"},
+		{"./examples/mlpipeline", "cross-layer profile"},
+		{"./examples/streaming", "no data lost across the node crash"},
+		{"./examples/sharedmem", "zero regions leaked"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package repro
+
+// This file is the module's public facade: downstream users import the
+// root package and get the programming model without reaching into
+// internal/ paths. The aliases are the stable API surface; the internal
+// packages remain free to evolve behind them.
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/placement"
+	"repro/internal/props"
+	"repro/internal/region"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Programming model (§2.1): jobs, tasks, declarative properties.
+type (
+	// Job is a dataflow application: a DAG of tasks.
+	Job = dataflow.Job
+	// Task is one node of the DAG.
+	Task = dataflow.Task
+	// TaskProps are the declarative task properties of Fig. 2c.
+	TaskProps = dataflow.Props
+	// TaskCtx is the execution context passed to task bodies.
+	TaskCtx = dataflow.Ctx
+	// TaskFn is a task body.
+	TaskFn = dataflow.Fn
+	// DevicePref selects the compute-device kind a task wants.
+	DevicePref = dataflow.DevicePref
+)
+
+// Device preferences.
+const (
+	AnyDevice = dataflow.AnyDevice
+	OnCPU     = dataflow.OnCPU
+	OnGPU     = dataflow.OnGPU
+	OnTPU     = dataflow.OnTPU
+	OnFPGA    = dataflow.OnFPGA
+)
+
+// NewJob creates an empty dataflow job.
+func NewJob(name string) *Job { return dataflow.NewJob(name) }
+
+// Memory model (§2.2): requirements, region classes, handles.
+type (
+	// Requirements is a declarative memory request.
+	Requirements = props.Requirements
+	// RegionClass names the predefined Memory Regions of Table 2.
+	RegionClass = props.RegionClass
+	// RegionHandle is an owner's capability to a Memory Region.
+	RegionHandle = region.Handle
+	// LatencyClass buckets access latency for declarative requests.
+	LatencyClass = props.LatencyClass
+)
+
+// Region classes (Table 2).
+const (
+	PrivateScratch = props.PrivateScratch
+	GlobalState    = props.GlobalState
+	GlobalScratch  = props.GlobalScratch
+	TransferRegion = props.Transfer
+)
+
+// Latency classes.
+const (
+	LatencyAny    = props.LatencyAny
+	LatencyLow    = props.LatencyLow
+	LatencyMedium = props.LatencyMedium
+	LatencyHigh   = props.LatencyHigh
+	LatencyBulk   = props.LatencyBulk
+)
+
+// Runtime system (§2.3).
+type (
+	// Runtime is the RTS: placement, scheduling, ownership, lifetimes.
+	Runtime = core.Runtime
+	// RuntimeConfig assembles a Runtime; zero values get defaults.
+	RuntimeConfig = core.Config
+	// Report is the outcome of one job run.
+	Report = core.Report
+	// MultiReport is the outcome of a concurrent job batch.
+	MultiReport = core.MultiReport
+	// MultiConfig tunes concurrent execution.
+	MultiConfig = core.MultiConfig
+	// Checkpointer persists task outputs for RunWithRecovery.
+	Checkpointer = core.Checkpointer
+	// Topology is the simulated hardware graph.
+	Topology = topology.Topology
+	// Telemetry is the cross-layer metrics registry.
+	Telemetry = telemetry.Registry
+)
+
+// NewRuntime builds an RTS instance. A zero config gets the reference
+// single-node testbed, the best-fit placement optimizer, and the HEFT
+// scheduler.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return core.New(cfg) }
+
+// NewCheckpointer wraps a fault-tolerant store for RunWithRecovery.
+var NewCheckpointer = core.NewCheckpointer
+
+// Testbeds.
+var (
+	// BuildSingleNode constructs the reference single-node testbed.
+	BuildSingleNode = topology.BuildSingleNode
+	// BuildRack wires a multi-node rack with a shared fabric.
+	BuildRack = topology.BuildRack
+	// DefaultSingleNode is the fully populated single-node configuration.
+	DefaultSingleNode = topology.DefaultSingleNode
+)
+
+// Placement policies.
+var (
+	// NewBestFit is the cost-model placement optimizer.
+	NewBestFit = placement.NewBestFit
+	// NewWorstFit is the adversarial baseline.
+	NewWorstFit = placement.NewWorst
+	// NewRandomFit places uniformly among matching devices.
+	NewRandomFit = placement.NewRandom
+)
+
+// Schedulers.
+type (
+	// HEFT is the heterogeneous-earliest-finish-time scheduler.
+	HEFT = sched.HEFT
+	// FIFO is the first-idle-device baseline.
+	FIFO = sched.FIFO
+	// RoundRobin cycles eligible devices.
+	RoundRobin = sched.RoundRobin
+)
+
+// NewTelemetry creates a metrics registry to pass into RuntimeConfig.
+var NewTelemetry = telemetry.NewRegistry

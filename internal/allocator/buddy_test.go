@@ -1,0 +1,280 @@
+package allocator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("size 0 must be rejected")
+	}
+	if _, err := New(100); err == nil {
+		t.Error("non-power-of-two must be rejected")
+	}
+	if _, err := New(32); err == nil {
+		t.Error("below minimum block must be rejected")
+	}
+	if _, err := New(1 << 20); err != nil {
+		t.Errorf("1 MiB arena should work: %v", err)
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	cases := map[int64]int64{1: 64, 64: 64, 65: 128, 100: 128, 128: 128, 4096: 4096, 5000: 8192}
+	for in, want := range cases {
+		if got := BlockSize(in); got != want {
+			t.Errorf("BlockSize(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if BlockSize(0) != 0 || BlockSize(-1) != 0 {
+		t.Error("non-positive sizes round to 0")
+	}
+}
+
+func TestAllocFreeRoundtrip(t *testing.T) {
+	b, err := New(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := b.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 1024 {
+		t.Errorf("Used = %d, want rounded 1024", b.Used())
+	}
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 0 {
+		t.Errorf("Used after free = %d, want 0", b.Used())
+	}
+	if b.LargestFree() != 1<<16 {
+		t.Errorf("free space must fully coalesce, largest = %d", b.LargestFree())
+	}
+}
+
+func TestAllocRejectsBadSizes(t *testing.T) {
+	b, _ := New(1 << 12)
+	if _, err := b.Alloc(0); err == nil {
+		t.Error("Alloc(0) must fail")
+	}
+	if _, err := b.Alloc(-1); err == nil {
+		t.Error("Alloc(-1) must fail")
+	}
+	if _, err := b.Alloc(1 << 13); err == nil {
+		t.Error("oversized request must fail")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	b, _ := New(1 << 12)
+	off, _ := b.Alloc(64)
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(off); err == nil {
+		t.Error("double free must be detected")
+	}
+	if err := b.Free(12345); err == nil {
+		t.Error("free of never-allocated offset must fail")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	b, _ := New(1 << 12) // 4 KiB
+	var offs []int64
+	for i := 0; i < 64; i++ { // 64 × 64 B fills the arena
+		off, err := b.Alloc(64)
+		if err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+		offs = append(offs, off)
+	}
+	if _, err := b.Alloc(64); err == nil {
+		t.Error("65th allocation must fail")
+	}
+	for _, off := range offs {
+		if err := b.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.LargestFree() != 1<<12 {
+		t.Error("arena must coalesce back to one block")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetsDisjoint(t *testing.T) {
+	b, _ := New(1 << 14)
+	seen := map[int64]int64{} // offset → size
+	for i := 0; i < 20; i++ {
+		size := int64(64 << (i % 4))
+		off, err := b.Alloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o, s := range seen {
+			if off < o+s && o < off+size {
+				t.Fatalf("overlap: [%d,%d) with [%d,%d)", off, off+size, o, o+s)
+			}
+		}
+		seen[off] = size
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	b, _ := New(1 << 12)
+	if f := b.Fragmentation(); f != 0 {
+		t.Errorf("pristine arena fragmentation = %f, want 0", f)
+	}
+	// Allocate all 64 B blocks, free every other one: free space is maximally
+	// fragmented into 64 B islands.
+	var offs []int64
+	for {
+		off, err := b.Alloc(64)
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+	}
+	for i := 0; i < len(offs); i += 2 {
+		if err := b.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.LargestFree() != 64 {
+		t.Errorf("LargestFree = %d, want 64", b.LargestFree())
+	}
+	if f := b.Fragmentation(); f < 0.9 {
+		t.Errorf("checkerboard fragmentation = %f, want ≥ 0.9", f)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicFirstFit(t *testing.T) {
+	// Two identical allocators given identical request streams must return
+	// identical offsets (the runtime relies on this for reproducible runs).
+	a, _ := New(1 << 16)
+	b, _ := New(1 << 16)
+	for i := 0; i < 50; i++ {
+		sa, e1 := a.Alloc(int64(64 + i*17))
+		sb, e2 := b.Alloc(int64(64 + i*17))
+		if (e1 == nil) != (e2 == nil) || sa != sb {
+			t.Fatalf("divergence at %d: %d/%v vs %d/%v", i, sa, e1, sb, e2)
+		}
+	}
+}
+
+// Property: any interleaving of allocs and frees preserves the allocator
+// invariants and never hands out overlapping blocks.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := New(1 << 16)
+		if err != nil {
+			return false
+		}
+		type blk struct{ off, size int64 }
+		var live []blk
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(live))
+				if err := b.Free(live[k].off); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				size := int64(1 + rng.Intn(4096))
+				off, err := b.Alloc(size)
+				if err != nil {
+					continue // exhaustion is fine
+				}
+				rounded := BlockSize(size)
+				for _, l := range live {
+					if off < l.off+l.size && l.off < off+rounded {
+						return false
+					}
+				}
+				live = append(live, blk{off, rounded})
+			}
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: freeing everything always restores a fully coalesced arena.
+func TestFullCoalesceProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		b, err := New(1 << 18)
+		if err != nil {
+			return false
+		}
+		var offs []int64
+		for _, s := range sizes {
+			off, err := b.Alloc(int64(s) + 1)
+			if err != nil {
+				break
+			}
+			offs = append(offs, off)
+		}
+		// Free in reverse order.
+		for i := len(offs) - 1; i >= 0; i-- {
+			if err := b.Free(offs[i]); err != nil {
+				return false
+			}
+		}
+		return b.Used() == 0 && b.LargestFree() == 1<<18 && b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	buddy, err := New(1 << 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := buddy.Alloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := buddy.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocChurn(b *testing.B) {
+	buddy, err := New(1 << 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) >= 1024 {
+			if err := buddy.Free(live[0]); err != nil {
+				b.Fatal(err)
+			}
+			live = live[1:]
+		}
+		off, err := buddy.Alloc(int64(64 << (i % 8)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, off)
+	}
+}

@@ -1,0 +1,226 @@
+// Package arena provides Broom-style region allocation *inside* a Memory
+// Region — the paper's §2.2 lineage: "Broom [25] introduces memory regions
+// and ownership to track lifetimes and, therefore, to remove the garbage
+// collector. We build on this approach by generalizing memory regions to
+// multiple devices."
+//
+// An Arena is a bump allocator over a region handle: tasks allocate
+// records, strings, and arrays as offsets within their Private Scratch
+// (or any region), freeing everything at once with Reset — object
+// lifetimes follow the region's lifetime, exactly the discipline that lets
+// the runtime rather than a garbage collector reclaim memory. All accessor
+// methods move real bytes through the region (paying its simulated cost)
+// and advance the caller's virtual clock.
+package arena
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/region"
+)
+
+// Errors.
+var (
+	ErrFull    = errors.New("arena: region exhausted")
+	ErrBadRef  = errors.New("arena: reference out of bounds")
+	ErrBadSize = errors.New("arena: invalid size")
+)
+
+// Ref is an arena-relative object reference: an offset within the backing
+// region. Refs stay valid across ownership transfers of the region (they
+// are positions, not pointers), which is how object graphs survive the
+// out→in handover of Fig. 4.
+type Ref int64
+
+// Arena is a bump allocator over a region handle.
+type Arena struct {
+	h     *region.Handle
+	size  int64
+	next  int64
+	align int64
+	// allocs counts live allocations since the last Reset (stats only;
+	// individual frees don't exist — that's the point).
+	allocs int64
+}
+
+// New wraps a region handle. Alignment defaults to 8.
+func New(h *region.Handle) (*Arena, error) {
+	size, err := h.Size()
+	if err != nil {
+		return nil, err
+	}
+	return &Arena{h: h, size: size, align: 8}, nil
+}
+
+// Attach re-wraps an arena whose region was transferred to a new handle:
+// the bump pointer is preserved by the caller (HandOff/Adopt pattern).
+func Attach(h *region.Handle, next int64) (*Arena, error) {
+	a, err := New(h)
+	if err != nil {
+		return nil, err
+	}
+	if next < 0 || next > a.size {
+		return nil, fmt.Errorf("%w: next=%d size=%d", ErrBadRef, next, a.size)
+	}
+	a.next = next
+	return a, nil
+}
+
+// Handle returns the backing region handle.
+func (a *Arena) Handle() *region.Handle { return a.h }
+
+// Used returns the bytes bump-allocated so far.
+func (a *Arena) Used() int64 { return a.next }
+
+// Live returns the number of allocations since the last Reset.
+func (a *Arena) Live() int64 { return a.allocs }
+
+// Alloc reserves n bytes and returns the object's Ref. O(1); no per-object
+// metadata — lifetimes are the region's.
+func (a *Arena) Alloc(n int64) (Ref, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, n)
+	}
+	off := (a.next + a.align - 1) &^ (a.align - 1)
+	if off+n > a.size {
+		return 0, fmt.Errorf("%w: want %d, %d of %d used", ErrFull, n, a.next, a.size)
+	}
+	a.next = off + n
+	a.allocs++
+	return Ref(off), nil
+}
+
+// Reset frees everything at once — Broom's bulk reclamation.
+func (a *Arena) Reset() {
+	a.next = 0
+	a.allocs = 0
+}
+
+func (a *Arena) check(r Ref, n int64) error {
+	if int64(r) < 0 || int64(r)+n > a.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrBadRef, r, int64(r)+n, a.size)
+	}
+	return nil
+}
+
+// WriteBytes stores buf at r, returning the virtual completion time.
+func (a *Arena) WriteBytes(now time.Duration, r Ref, buf []byte) (time.Duration, error) {
+	if err := a.check(r, int64(len(buf))); err != nil {
+		return now, err
+	}
+	f := a.h.WriteAsync(now, int64(r), buf)
+	return f.Await(now)
+}
+
+// ReadBytes loads len(buf) bytes from r.
+func (a *Arena) ReadBytes(now time.Duration, r Ref, buf []byte) (time.Duration, error) {
+	if err := a.check(r, int64(len(buf))); err != nil {
+		return now, err
+	}
+	f := a.h.ReadAsync(now, int64(r), buf)
+	return f.Await(now)
+}
+
+// PutUint64 allocates-and-writes an 8-byte integer in one step.
+func (a *Arena) PutUint64(now time.Duration, v uint64) (Ref, time.Duration, error) {
+	r, err := a.Alloc(8)
+	if err != nil {
+		return 0, now, err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	done, err := a.WriteBytes(now, r, buf[:])
+	return r, done, err
+}
+
+// Uint64 reads an 8-byte integer at r.
+func (a *Arena) Uint64(now time.Duration, r Ref) (uint64, time.Duration, error) {
+	var buf [8]byte
+	done, err := a.ReadBytes(now, r, buf[:])
+	if err != nil {
+		return 0, now, err
+	}
+	return binary.BigEndian.Uint64(buf[:]), done, nil
+}
+
+// PutString allocates a length-prefixed string.
+func (a *Arena) PutString(now time.Duration, s string) (Ref, time.Duration, error) {
+	if len(s) > 1<<31 {
+		return 0, now, fmt.Errorf("%w: string too large", ErrBadSize)
+	}
+	r, err := a.Alloc(4 + int64(len(s)))
+	if err != nil {
+		return 0, now, err
+	}
+	buf := make([]byte, 4+len(s))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(s)))
+	copy(buf[4:], s)
+	done, err := a.WriteBytes(now, r, buf)
+	return r, done, err
+}
+
+// String reads a length-prefixed string at r.
+func (a *Arena) String(now time.Duration, r Ref) (string, time.Duration, error) {
+	var lenBuf [4]byte
+	done, err := a.ReadBytes(now, r, lenBuf[:])
+	if err != nil {
+		return "", now, err
+	}
+	n := int64(binary.BigEndian.Uint32(lenBuf[:]))
+	if err := a.check(r+4, n); err != nil {
+		return "", now, err
+	}
+	buf := make([]byte, n)
+	done, err = a.ReadBytes(done, r+4, buf)
+	return string(buf), done, err
+}
+
+// List is a singly linked list of uint64 payloads living entirely inside
+// the arena — the classic GC-pressure structure, GC-free. Node layout:
+// value(8) | next Ref(8); NilRef terminates.
+const NilRef Ref = -1
+
+const nodeSize = 16
+
+// Push prepends a value to the list rooted at head and returns the new head.
+func (a *Arena) Push(now time.Duration, head Ref, v uint64) (Ref, time.Duration, error) {
+	r, err := a.Alloc(nodeSize)
+	if err != nil {
+		return NilRef, now, err
+	}
+	var buf [nodeSize]byte
+	binary.BigEndian.PutUint64(buf[:8], v)
+	binary.BigEndian.PutUint64(buf[8:], uint64(head))
+	done, err := a.WriteBytes(now, r, buf[:])
+	return r, done, err
+}
+
+// Walk traverses the list calling fn for each value; it returns the
+// virtual completion time (each hop pays one region access — the
+// pointer-chasing cost profile).
+func (a *Arena) Walk(now time.Duration, head Ref, fn func(v uint64) bool) (time.Duration, error) {
+	var buf [nodeSize]byte
+	seen := int64(0)
+	for head != NilRef {
+		if err := a.check(head, nodeSize); err != nil {
+			return now, err
+		}
+		done, err := a.ReadBytes(now, head, buf[:])
+		if err != nil {
+			return now, err
+		}
+		now = done
+		if fn != nil && !fn(binary.BigEndian.Uint64(buf[:8])) {
+			return now, nil
+		}
+		head = Ref(binary.BigEndian.Uint64(buf[8:]))
+		seen++
+		if seen > a.size/nodeSize {
+			return now, errors.New("arena: list cycle detected")
+		}
+	}
+	return now, nil
+}

@@ -1,0 +1,337 @@
+package arena
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/placement"
+	"repro/internal/props"
+	"repro/internal/region"
+	"repro/internal/topology"
+)
+
+func newArena(t testing.TB, size int64) (*Arena, *region.Manager) {
+	t.Helper()
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mgr.Alloc(region.Spec{
+		Name: "arena", Class: props.PrivateScratch, Size: size,
+		Owner: "task", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, mgr
+}
+
+func TestAllocBumpAndAlignment(t *testing.T) {
+	a, _ := newArena(t, 1024)
+	r1, err := a.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != 0 {
+		t.Errorf("first alloc at %d, want 0", r1)
+	}
+	if int64(r2)%8 != 0 {
+		t.Errorf("second alloc at %d, want 8-aligned", r2)
+	}
+	if a.Live() != 2 {
+		t.Errorf("live = %d", a.Live())
+	}
+	if a.Used() != int64(r2)+8 {
+		t.Errorf("used = %d", a.Used())
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	a, _ := newArena(t, 128)
+	if _, err := a.Alloc(0); !errors.Is(err, ErrBadSize) {
+		t.Error("zero alloc must fail")
+	}
+	if _, err := a.Alloc(-4); !errors.Is(err, ErrBadSize) {
+		t.Error("negative alloc must fail")
+	}
+	if _, err := a.Alloc(1024); !errors.Is(err, ErrFull) {
+		t.Error("oversized alloc must fail")
+	}
+}
+
+func TestExhaustionAndReset(t *testing.T) {
+	a, _ := newArena(t, 128)
+	for i := 0; i < 16; i++ {
+		if _, err := a.Alloc(8); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(8); !errors.Is(err, ErrFull) {
+		t.Error("17th alloc must exhaust the 128-byte arena")
+	}
+	a.Reset()
+	if a.Used() != 0 || a.Live() != 0 {
+		t.Error("reset must clear the bump pointer")
+	}
+	if _, err := a.Alloc(8); err != nil {
+		t.Errorf("alloc after reset: %v", err)
+	}
+}
+
+func TestUint64Roundtrip(t *testing.T) {
+	a, _ := newArena(t, 1024)
+	r, now, err := a.PutUint64(0, 0xdeadbeefcafef00d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now <= 0 {
+		t.Error("write must cost virtual time")
+	}
+	v, _, err := a.Uint64(now, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafef00d {
+		t.Errorf("read %x", v)
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	a, _ := newArena(t, 1024)
+	r, now, err := a.PutString(0, "regions, not garbage collection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := a.String(now, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "regions, not garbage collection" {
+		t.Errorf("read %q", s)
+	}
+	// Empty string works too.
+	r2, now, err := a.PutString(now, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2, _, err := a.String(now, r2); err != nil || s2 != "" {
+		t.Errorf("empty string round trip: %q %v", s2, err)
+	}
+}
+
+func TestRefBoundsChecked(t *testing.T) {
+	a, _ := newArena(t, 128)
+	buf := make([]byte, 16)
+	if _, err := a.ReadBytes(0, Ref(120), buf); !errors.Is(err, ErrBadRef) {
+		t.Error("read past end must fail")
+	}
+	if _, err := a.WriteBytes(0, Ref(-1), buf); !errors.Is(err, ErrBadRef) {
+		t.Error("negative ref must fail")
+	}
+}
+
+func TestLinkedListGCFree(t *testing.T) {
+	a, _ := newArena(t, 4096)
+	// Build 1..100 (Push prepends, so walk sees 100..1).
+	hd := NilRef
+	var err error
+	for c := int64(1); c <= 100; c++ {
+		hd, _, err = a.Push(0, hd, uint64(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := uint64(100)
+	count := 0
+	if _, err := a.Walk(0, hd, func(v uint64) bool {
+		if v != want {
+			t.Fatalf("walk saw %d, want %d", v, want)
+		}
+		want--
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("walk visited %d nodes", count)
+	}
+}
+
+func TestWalkEarlyStopAndCycleGuard(t *testing.T) {
+	a, _ := newArena(t, 4096)
+	hd := NilRef
+	var err error
+	for i := 0; i < 10; i++ {
+		hd, _, err = a.Push(0, hd, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if _, err := a.Walk(0, hd, func(uint64) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+	// Forge a cycle: node pointing at itself.
+	r, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteBytes(0, r, encodeNode(7, r)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Walk(0, r, nil); err == nil {
+		t.Error("cycle must be detected")
+	}
+}
+
+func encodeNode(v uint64, next Ref) []byte {
+	buf := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		buf[7-i] = byte(v >> (8 * i))
+		buf[15-i] = byte(uint64(next) >> (8 * i))
+	}
+	return buf
+}
+
+func TestAttachAfterTransfer(t *testing.T) {
+	// Build an object graph in a transferable region, hand the region to
+	// the "next task", re-attach the arena, and read the graph — Refs
+	// survive the ownership move.
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mgr.Alloc(region.Spec{
+		Name: "graph", Class: props.Transfer, Size: 4096,
+		Owner: "t1", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := NilRef
+	for i := 0; i < 5; i++ {
+		hd, _, err = a.Push(0, hd, uint64(i*11))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := a.Used()
+	h2, _, err := h.Transfer(0, "t2", "node0/cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Attach(h2, used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	if _, err := a2.Walk(0, hd, func(v uint64) bool {
+		got = append(got, v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 44 || got[4] != 0 {
+		t.Errorf("walk after transfer = %v", got)
+	}
+	if _, err := Attach(h2, 1<<20); !errors.Is(err, ErrBadRef) {
+		t.Error("attach with bad bump pointer must fail")
+	}
+	h2.Release()
+}
+
+// Property: any interleaving of Alloc/Put/Read keeps objects disjoint and
+// round-trips every stored value.
+func TestArenaDisjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a, _ := newArena(t, 1<<14)
+		rng := rand.New(rand.NewSource(seed))
+		type obj struct {
+			r Ref
+			v uint64
+		}
+		var objs []obj
+		for i := 0; i < 100; i++ {
+			v := rng.Uint64()
+			r, _, err := a.PutUint64(0, v)
+			if err != nil {
+				break // arena full is fine
+			}
+			// Disjointness: new ref doesn't overlap previous objects.
+			for _, o := range objs {
+				if r < o.r+8 && o.r < r+8 {
+					return false
+				}
+			}
+			objs = append(objs, obj{r, v})
+		}
+		for _, o := range objs {
+			v, _, err := a.Uint64(0, o.r)
+			if err != nil || v != o.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkArenaAlloc(b *testing.B) {
+	a, _ := newArena(b, 1<<26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Alloc(64); err != nil {
+			a.Reset()
+		}
+	}
+}
+
+func BenchmarkArenaPushWalk(b *testing.B) {
+	a, _ := newArena(b, 1<<22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		hd := NilRef
+		var err error
+		for k := 0; k < 64; k++ {
+			hd, _, err = a.Push(0, hd, uint64(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := a.Walk(0, hd, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package channel implements message-passing over shared memory — the
+// inter-task communication pattern the paper singles out as performance-
+// critical ("the performance-critical inter-task communication is being
+// implemented via message-passing over shared memory [41]", §2.1, citing
+// Naiad).
+//
+// A Ring is a single-producer single-consumer ring buffer laid out inside
+// a shared Memory Region: an 8-byte head counter, an 8-byte tail counter,
+// and fixed-size slots. Producer and consumer hold separate handles to the
+// same region (shared ownership), so every head/tail access pays the
+// region's real placement cost — including MESI directory traffic when the
+// two ends run on different compute devices. The ring is the quantitative
+// witness for why the paper wants coherent Global State for
+// synchronization: the counters ping-pong between the endpoints' caches.
+package channel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/region"
+)
+
+// Errors.
+var (
+	ErrTooLarge = errors.New("channel: message exceeds slot payload")
+	ErrLayout   = errors.New("channel: region too small for the requested geometry")
+)
+
+const headerBytes = 16 // head(8) | tail(8)
+const slotHeader = 4   // per-slot length prefix
+
+// Ring is one endpoint's view of the shared ring buffer.
+type Ring struct {
+	h        *region.Handle
+	slots    int64
+	slotSize int64 // payload capacity per slot (excluding the length prefix)
+}
+
+// Geometry computes the region size needed for the given slot count and
+// payload capacity.
+func Geometry(slots int, payload int) int64 {
+	return headerBytes + int64(slots)*(slotHeader+int64(payload))
+}
+
+// Attach wraps a region handle as a ring endpoint. Both endpoints must use
+// identical geometry. The producer should call Init once before any Send.
+func Attach(h *region.Handle, slots, payload int) (*Ring, error) {
+	if slots <= 0 || payload <= 0 {
+		return nil, fmt.Errorf("%w: slots=%d payload=%d", ErrLayout, slots, payload)
+	}
+	size, err := h.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < Geometry(slots, payload) {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrLayout, Geometry(slots, payload), size)
+	}
+	return &Ring{h: h, slots: int64(slots), slotSize: int64(payload)}, nil
+}
+
+// Init zeroes the counters (producer-side, once).
+func (r *Ring) Init(now time.Duration) (time.Duration, error) {
+	var zero [headerBytes]byte
+	f := r.h.WriteAsync(now, 0, zero[:])
+	return f.Await(now)
+}
+
+// counters loads (head, tail).
+func (r *Ring) counters(now time.Duration) (uint64, uint64, time.Duration, error) {
+	var buf [headerBytes]byte
+	f := r.h.ReadAsync(now, 0, buf[:])
+	done, err := f.Await(now)
+	if err != nil {
+		return 0, 0, now, err
+	}
+	return binary.BigEndian.Uint64(buf[:8]), binary.BigEndian.Uint64(buf[8:]), done, nil
+}
+
+func (r *Ring) setCounter(now time.Duration, off int64, v uint64) (time.Duration, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	f := r.h.WriteAsync(now, off, buf[:])
+	return f.Await(now)
+}
+
+// slotOff returns the byte offset of slot i.
+func (r *Ring) slotOff(i uint64) int64 {
+	return headerBytes + int64(i%uint64(r.slots))*(slotHeader+r.slotSize)
+}
+
+// TrySend enqueues msg if there is room. Returns (completionTime, sent).
+func (r *Ring) TrySend(now time.Duration, msg []byte) (time.Duration, bool, error) {
+	if int64(len(msg)) > r.slotSize {
+		return now, false, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(msg), r.slotSize)
+	}
+	head, tail, done, err := r.counters(now)
+	if err != nil {
+		return now, false, err
+	}
+	if head-tail >= uint64(r.slots) {
+		return done, false, nil // full
+	}
+	// Write the slot, then publish by bumping head.
+	buf := make([]byte, slotHeader+len(msg))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(msg)))
+	copy(buf[4:], msg)
+	f := r.h.WriteAsync(done, r.slotOff(head), buf)
+	done, err = f.Await(done)
+	if err != nil {
+		return now, false, err
+	}
+	done, err = r.setCounter(done, 0, head+1)
+	if err != nil {
+		return now, false, err
+	}
+	return done, true, nil
+}
+
+// TryRecv dequeues one message if available. Returns (msg, completionTime,
+// received).
+func (r *Ring) TryRecv(now time.Duration) ([]byte, time.Duration, bool, error) {
+	head, tail, done, err := r.counters(now)
+	if err != nil {
+		return nil, now, false, err
+	}
+	if tail >= head {
+		return nil, done, false, nil // empty
+	}
+	var lenBuf [slotHeader]byte
+	f := r.h.ReadAsync(done, r.slotOff(tail), lenBuf[:])
+	done, err = f.Await(done)
+	if err != nil {
+		return nil, now, false, err
+	}
+	n := int64(binary.BigEndian.Uint32(lenBuf[:]))
+	if n > r.slotSize {
+		return nil, now, false, fmt.Errorf("channel: corrupt slot length %d", n)
+	}
+	msg := make([]byte, n)
+	if n > 0 {
+		f = r.h.ReadAsync(done, r.slotOff(tail)+slotHeader, msg)
+		done, err = f.Await(done)
+		if err != nil {
+			return nil, now, false, err
+		}
+	}
+	done, err = r.setCounter(done, 8, tail+1)
+	if err != nil {
+		return nil, now, false, err
+	}
+	return msg, done, true, nil
+}
+
+// Len returns the number of queued messages.
+func (r *Ring) Len(now time.Duration) (int, time.Duration, error) {
+	head, tail, done, err := r.counters(now)
+	if err != nil {
+		return 0, now, err
+	}
+	return int(head - tail), done, nil
+}
+
+// Send spins (in virtual time) until the message fits, modeling a blocking
+// producer: each failed attempt costs one backoff quantum.
+func (r *Ring) Send(now time.Duration, msg []byte, backoff time.Duration, maxTries int) (time.Duration, error) {
+	if backoff <= 0 {
+		backoff = time.Microsecond
+	}
+	for try := 0; try < maxTries; try++ {
+		done, ok, err := r.TrySend(now, msg)
+		if err != nil {
+			return now, err
+		}
+		if ok {
+			return done, nil
+		}
+		now = done + backoff
+	}
+	return now, fmt.Errorf("channel: send timed out after %d tries", maxTries)
+}
+
+// Recv spins until a message arrives, modeling a blocking consumer.
+func (r *Ring) Recv(now time.Duration, backoff time.Duration, maxTries int) ([]byte, time.Duration, error) {
+	if backoff <= 0 {
+		backoff = time.Microsecond
+	}
+	for try := 0; try < maxTries; try++ {
+		msg, done, ok, err := r.TryRecv(now)
+		if err != nil {
+			return nil, now, err
+		}
+		if ok {
+			return msg, done, nil
+		}
+		now = done + backoff
+	}
+	return nil, now, fmt.Errorf("channel: recv timed out after %d tries", maxTries)
+}

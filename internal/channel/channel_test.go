@@ -1,0 +1,340 @@
+package channel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/props"
+	"repro/internal/region"
+	"repro/internal/topology"
+)
+
+// pair allocates a shared region and returns producer and consumer
+// endpoints on different CPUs (shared ownership across sockets).
+func pair(t testing.TB, slots, payload int) (*Ring, *Ring, *region.Manager) {
+	t.Helper()
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mgr.Alloc(region.Spec{
+		Name: "ring", Class: props.GlobalState, Size: Geometry(slots, payload),
+		Owner: "producer", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := h.Share("consumer", "node0/cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := Attach(h, slots, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := Attach(h2, slots, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prod.Init(0); err != nil {
+		t.Fatal(err)
+	}
+	return prod, cons, mgr
+}
+
+func TestAttachValidation(t *testing.T) {
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mgr.Alloc(region.Spec{
+		Name: "small", Class: props.GlobalState, Size: 64,
+		Owner: "p", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if _, err := Attach(h, 16, 64); !errors.Is(err, ErrLayout) {
+		t.Error("undersized region must fail attach")
+	}
+	if _, err := Attach(h, 0, 64); !errors.Is(err, ErrLayout) {
+		t.Error("zero slots must fail")
+	}
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	prod, cons, _ := pair(t, 8, 64)
+	now, ok, err := prod.TrySend(0, []byte("message one"))
+	if err != nil || !ok {
+		t.Fatalf("send: %v ok=%t", err, ok)
+	}
+	if now <= 0 {
+		t.Error("send must cost virtual time (region accesses)")
+	}
+	msg, _, ok, err := cons.TryRecv(now)
+	if err != nil || !ok {
+		t.Fatalf("recv: %v ok=%t", err, ok)
+	}
+	if !bytes.Equal(msg, []byte("message one")) {
+		t.Errorf("recv %q", msg)
+	}
+}
+
+func TestEmptyAndFull(t *testing.T) {
+	prod, cons, _ := pair(t, 2, 16)
+	if _, _, ok, _ := cons.TryRecv(0); ok {
+		t.Error("empty ring must not deliver")
+	}
+	var now time.Duration
+	for i := 0; i < 2; i++ {
+		done, ok, err := prod.TrySend(now, []byte{byte(i)})
+		if err != nil || !ok {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		now = done
+	}
+	if _, ok, _ := prod.TrySend(now, []byte{9}); ok {
+		t.Error("full ring must reject")
+	}
+	// Drain one, send succeeds again.
+	_, now, ok, err := cons.TryRecv(now)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if _, ok, _ := prod.TrySend(now, []byte{9}); !ok {
+		t.Error("ring must accept after a recv")
+	}
+}
+
+func TestOversizedMessage(t *testing.T) {
+	prod, _, _ := pair(t, 4, 8)
+	if _, _, err := prod.TrySend(0, make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized message must fail")
+	}
+}
+
+func TestWraparoundPreservesFIFO(t *testing.T) {
+	prod, cons, _ := pair(t, 4, 16)
+	var now time.Duration
+	next := 0 // next value to send
+	expect := 0
+	for round := 0; round < 10; round++ {
+		// Fill.
+		for {
+			done, ok, err := prod.TrySend(now, []byte{byte(next)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = done
+			if !ok {
+				break
+			}
+			next++
+		}
+		// Drain.
+		for {
+			msg, done, ok, err := cons.TryRecv(now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = done
+			if !ok {
+				break
+			}
+			if int(msg[0]) != expect%256 {
+				t.Fatalf("out of order: got %d want %d", msg[0], expect%256)
+			}
+			expect++
+		}
+	}
+	if expect != next || expect < 30 {
+		t.Errorf("drained %d of %d", expect, next)
+	}
+}
+
+func TestBlockingSendRecv(t *testing.T) {
+	prod, cons, _ := pair(t, 1, 16)
+	now, err := prod.Send(0, []byte("a"), time.Microsecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second send must time out (nobody drains).
+	if _, err := prod.Send(now, []byte("b"), time.Microsecond, 5); err == nil {
+		t.Error("send into a full ring with no consumer must time out")
+	}
+	msg, now, err := cons.Recv(now, time.Microsecond, 10)
+	if err != nil || string(msg) != "a" {
+		t.Fatalf("recv: %q %v", msg, err)
+	}
+	// Recv on empty times out.
+	if _, _, err := cons.Recv(now, time.Microsecond, 5); err == nil {
+		t.Error("recv from empty ring must time out")
+	}
+}
+
+func TestLen(t *testing.T) {
+	prod, cons, _ := pair(t, 8, 16)
+	var now time.Duration
+	for i := 0; i < 5; i++ {
+		done, ok, err := prod.TrySend(now, []byte{byte(i)})
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	n, now, err := cons.Len(now)
+	if err != nil || n != 5 {
+		t.Errorf("len = %d (%v), want 5", n, err)
+	}
+	cons.TryRecv(now)
+	if n, _, _ := cons.Len(now); n != 4 {
+		t.Errorf("len after recv = %d", n)
+	}
+}
+
+func TestCrossSocketRingPaysCoherence(t *testing.T) {
+	// The ring's counters ping-pong between cpu0 (producer) and cpu1
+	// (consumer): a same-CPU ring must be cheaper per message.
+	prodX, consX, mgrX := pair(t, 8, 64)
+	var crossTime time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 16; i++ {
+		done, ok, err := prodX.TrySend(now, []byte("m"))
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		_, done, ok, err = consX.TryRecv(done)
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	crossTime = now
+	_ = mgrX
+
+	// Same-CPU pair.
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mgr.Alloc(region.Spec{
+		Name: "ring", Class: props.GlobalState, Size: Geometry(8, 64),
+		Owner: "producer", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := h.Share("consumer", "node0/cpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodL, _ := Attach(h, 8, 64)
+	consL, _ := Attach(h2, 8, 64)
+	prodL.Init(0)
+	now = 0
+	for i := 0; i < 16; i++ {
+		done, ok, err := prodL.TrySend(now, []byte("m"))
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		_, done, ok, err = consL.TryRecv(done)
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if crossTime <= now {
+		t.Errorf("cross-socket ring (%v) must cost more than same-CPU (%v)", crossTime, now)
+	}
+}
+
+// Property: any interleaving of sends and receives preserves FIFO order
+// and loses no message.
+func TestFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		prod, cons, _ := pair(t, 4, 16)
+		rng := rand.New(rand.NewSource(seed))
+		var now time.Duration
+		sent, received := 0, 0
+		for op := 0; op < 120; op++ {
+			if rng.Intn(2) == 0 {
+				done, ok, err := prod.TrySend(now, []byte(fmt.Sprintf("%08d", sent)))
+				if err != nil {
+					return false
+				}
+				now = done
+				if ok {
+					sent++
+				}
+			} else {
+				msg, done, ok, err := cons.TryRecv(now)
+				if err != nil {
+					return false
+				}
+				now = done
+				if ok {
+					if string(msg) != fmt.Sprintf("%08d", received) {
+						return false
+					}
+					received++
+				}
+			}
+		}
+		// Drain the rest.
+		for {
+			msg, done, ok, err := cons.TryRecv(now)
+			if err != nil {
+				return false
+			}
+			now = done
+			if !ok {
+				break
+			}
+			if string(msg) != fmt.Sprintf("%08d", received) {
+				return false
+			}
+			received++
+		}
+		return received == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRingSendRecv(b *testing.B) {
+	prod, cons, _ := pair(b, 64, 64)
+	msg := make([]byte, 32)
+	var now time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, ok, err := prod.TrySend(now, msg)
+		if err != nil || !ok {
+			b.Fatal(err, ok)
+		}
+		_, done, ok, err = cons.TryRecv(done)
+		if err != nil || !ok {
+			b.Fatal(err, ok)
+		}
+		now = done
+	}
+}

@@ -1,0 +1,326 @@
+// Package cluster simulates the disaggregated memory fabric: memory nodes
+// exporting slabs of byte-addressable storage, reached from compute nodes
+// through one-sided verbs (Read/Write/CompareAndSwap) in the style of RDMA.
+//
+// The paper's challenge 8(3) — faults are common "in data centers having
+// thousands of interconnected compute and memory devices" — is modeled with
+// injectable node crashes and network partitions; internal/fault builds
+// replication and erasure coding on top of these verbs and recovers through
+// them. Data lives in real host memory; latency is virtual (a cost the
+// caller accumulates), so tests and benches are deterministic.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by fabric verbs. ErrUnreachable covers both crashed nodes
+// and partitions, matching what a real initiator observes (timeouts).
+var (
+	ErrUnreachable  = errors.New("cluster: node unreachable")
+	ErrBadSlab      = errors.New("cluster: unknown slab")
+	ErrOutOfRange   = errors.New("cluster: access out of slab range")
+	ErrCASMismatch  = errors.New("cluster: compare-and-swap mismatch")
+	ErrSlabExists   = errors.New("cluster: slab already exists")
+	ErrOutOfMemory  = errors.New("cluster: memory node capacity exhausted")
+	ErrUnknownNode  = errors.New("cluster: unknown node")
+	ErrInvalidInput = errors.New("cluster: invalid argument")
+)
+
+// SlabID names a slab on a specific node.
+type SlabID struct {
+	Node string
+	Slab uint64
+}
+
+func (s SlabID) String() string { return fmt.Sprintf("%s/slab%d", s.Node, s.Slab) }
+
+// node is one memory node: capacity plus its exported slabs.
+type node struct {
+	capacity int64
+	used     int64
+	alive    bool
+	slabs    map[uint64][]byte
+	nextSlab uint64
+}
+
+// Fabric is the cluster interconnect plus the set of memory nodes.
+type Fabric struct {
+	mu         sync.Mutex
+	nodes      map[string]*node
+	partition  map[string]bool // nodes cut off from the initiators
+	rtt        time.Duration   // one-sided verb round trip
+	bwPerVerb  float64         // bytes/second for payload transfer
+	verbCount  uint64
+	bytesMoved uint64
+}
+
+// Config tunes fabric performance.
+type Config struct {
+	RTT       time.Duration // verb round-trip latency, default 3µs
+	Bandwidth float64       // payload bandwidth bytes/s, default 12 GB/s
+}
+
+// NewFabric builds an empty fabric.
+func NewFabric(cfg Config) *Fabric {
+	if cfg.RTT <= 0 {
+		cfg.RTT = 3 * time.Microsecond
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = 12e9
+	}
+	return &Fabric{
+		nodes:     make(map[string]*node),
+		partition: make(map[string]bool),
+		rtt:       cfg.RTT,
+		bwPerVerb: cfg.Bandwidth,
+	}
+}
+
+// AddNode registers a memory node with the given capacity.
+func (f *Fabric) AddNode(name string, capacity int64) error {
+	if name == "" || capacity <= 0 {
+		return ErrInvalidInput
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[name]; ok {
+		return fmt.Errorf("%w: %s", ErrSlabExists, name)
+	}
+	f.nodes[name] = &node{capacity: capacity, alive: true, slabs: make(map[uint64][]byte)}
+	return nil
+}
+
+// Nodes lists node names, alive or not, sorted for determinism.
+func (f *Fabric) Nodes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.nodes))
+	for n := range f.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AliveNodes lists reachable nodes.
+func (f *Fabric) AliveNodes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for name, n := range f.nodes {
+		if n.alive && !f.partition[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reachable must be called with f.mu held.
+func (f *Fabric) reachable(name string) (*node, error) {
+	n, ok := f.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	if !n.alive || f.partition[name] {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, name)
+	}
+	return n, nil
+}
+
+// AllocSlab carves size bytes out of a node and returns its slab handle and
+// the virtual time the verb took.
+func (f *Fabric) AllocSlab(nodeName string, size int64) (SlabID, time.Duration, error) {
+	if size <= 0 {
+		return SlabID{}, 0, ErrInvalidInput
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.reachable(nodeName)
+	if err != nil {
+		return SlabID{}, f.rtt, err
+	}
+	if n.used+size > n.capacity {
+		return SlabID{}, f.rtt, fmt.Errorf("%w: %s (%d used of %d, want %d)", ErrOutOfMemory, nodeName, n.used, n.capacity, size)
+	}
+	id := n.nextSlab
+	n.nextSlab++
+	n.slabs[id] = make([]byte, size)
+	n.used += size
+	f.verbCount++
+	return SlabID{Node: nodeName, Slab: id}, f.rtt, nil
+}
+
+// FreeSlab releases a slab.
+func (f *Fabric) FreeSlab(id SlabID) (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.reachable(id.Node)
+	if err != nil {
+		return f.rtt, err
+	}
+	buf, ok := n.slabs[id.Slab]
+	if !ok {
+		return f.rtt, fmt.Errorf("%w: %s", ErrBadSlab, id)
+	}
+	delete(n.slabs, id.Slab)
+	n.used -= int64(len(buf))
+	f.verbCount++
+	return f.rtt, nil
+}
+
+// xferTime prices moving n payload bytes.
+func (f *Fabric) xferTime(n int) time.Duration {
+	return f.rtt + time.Duration(float64(n)/f.bwPerVerb*float64(time.Second))
+}
+
+// Read copies slab bytes [off, off+len(buf)) into buf — a one-sided RDMA
+// read. Returns the virtual verb duration.
+func (f *Fabric) Read(id SlabID, off int64, buf []byte) (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.reachable(id.Node)
+	if err != nil {
+		return f.rtt, err
+	}
+	slab, ok := n.slabs[id.Slab]
+	if !ok {
+		return f.rtt, fmt.Errorf("%w: %s", ErrBadSlab, id)
+	}
+	if off < 0 || off+int64(len(buf)) > int64(len(slab)) {
+		return f.rtt, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+int64(len(buf)), len(slab))
+	}
+	copy(buf, slab[off:])
+	f.verbCount++
+	f.bytesMoved += uint64(len(buf))
+	return f.xferTime(len(buf)), nil
+}
+
+// Write copies buf into the slab at off — a one-sided RDMA write.
+func (f *Fabric) Write(id SlabID, off int64, buf []byte) (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.reachable(id.Node)
+	if err != nil {
+		return f.rtt, err
+	}
+	slab, ok := n.slabs[id.Slab]
+	if !ok {
+		return f.rtt, fmt.Errorf("%w: %s", ErrBadSlab, id)
+	}
+	if off < 0 || off+int64(len(buf)) > int64(len(slab)) {
+		return f.rtt, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+int64(len(buf)), len(slab))
+	}
+	copy(slab[off:], buf)
+	f.verbCount++
+	f.bytesMoved += uint64(len(buf))
+	return f.xferTime(len(buf)), nil
+}
+
+// CompareAndSwap atomically replaces the 8 bytes at off with swap if they
+// equal compare — the fabric's synchronization primitive (used for far
+// latches in Global State spillover).
+func (f *Fabric) CompareAndSwap(id SlabID, off int64, compare, swap uint64) (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.reachable(id.Node)
+	if err != nil {
+		return f.rtt, err
+	}
+	slab, ok := n.slabs[id.Slab]
+	if !ok {
+		return f.rtt, fmt.Errorf("%w: %s", ErrBadSlab, id)
+	}
+	if off < 0 || off+8 > int64(len(slab)) {
+		return f.rtt, fmt.Errorf("%w: CAS at %d of %d", ErrOutOfRange, off, len(slab))
+	}
+	cur := beUint64(slab[off:])
+	if cur != compare {
+		return f.rtt, fmt.Errorf("%w: have %d, want %d", ErrCASMismatch, cur, compare)
+	}
+	putBEUint64(slab[off:], swap)
+	f.verbCount++
+	f.bytesMoved += 8
+	return f.rtt, nil
+}
+
+func beUint64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+func putBEUint64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32)
+	b[4], b[5], b[6], b[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// Crash marks a node dead, losing its volatile contents.
+func (f *Fabric) Crash(nodeName string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[nodeName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	n.alive = false
+	n.slabs = make(map[uint64][]byte) // volatile memory is gone
+	n.used = 0
+	return nil
+}
+
+// Restart brings a crashed node back empty.
+func (f *Fabric) Restart(nodeName string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[nodeName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	n.alive = true
+	return nil
+}
+
+// Partition cuts a node off without losing its memory.
+func (f *Fabric) Partition(nodeName string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[nodeName]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	f.partition[nodeName] = true
+	return nil
+}
+
+// Heal reconnects a partitioned node.
+func (f *Fabric) Heal(nodeName string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[nodeName]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	delete(f.partition, nodeName)
+	return nil
+}
+
+// NodeUsage returns (used, capacity) for a node regardless of liveness.
+func (f *Fabric) NodeUsage(nodeName string) (int64, int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[nodeName]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	return n.used, n.capacity, nil
+}
+
+// Stats reports fabric-wide verb and byte counters.
+func (f *Fabric) Stats() (verbs, bytes uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.verbCount, f.bytesMoved
+}

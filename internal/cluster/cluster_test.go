@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestFabric(t *testing.T, nodes int) *Fabric {
+	t.Helper()
+	f := NewFabric(Config{})
+	for i := 0; i < nodes; i++ {
+		if err := f.AddNode(nodeName(i), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func nodeName(i int) string { return "mem" + string(rune('0'+i)) }
+
+func TestAddNodeValidation(t *testing.T) {
+	f := NewFabric(Config{})
+	if err := f.AddNode("", 10); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := f.AddNode("a", 0); err == nil {
+		t.Error("zero capacity must fail")
+	}
+	if err := f.AddNode("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNode("a", 10); err == nil {
+		t.Error("duplicate node must fail")
+	}
+}
+
+func TestSlabLifecycle(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, d, err := f.AllocSlab("mem0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("alloc verb must take virtual time")
+	}
+	used, capacity, err := f.NodeUsage("mem0")
+	if err != nil || used != 4096 || capacity != 1<<20 {
+		t.Errorf("usage = %d/%d err=%v", used, capacity, err)
+	}
+	if _, err := f.FreeSlab(id); err != nil {
+		t.Fatal(err)
+	}
+	used, _, _ = f.NodeUsage("mem0")
+	if used != 0 {
+		t.Errorf("usage after free = %d", used)
+	}
+	if _, err := f.FreeSlab(id); err == nil {
+		t.Error("double free must fail")
+	}
+}
+
+func TestAllocCapacity(t *testing.T) {
+	f := newTestFabric(t, 1)
+	if _, _, err := f.AllocSlab("mem0", 1<<21); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized alloc err = %v, want ErrOutOfMemory", err)
+	}
+	if _, _, err := f.AllocSlab("mem0", 0); !errors.Is(err, ErrInvalidInput) {
+		t.Error("zero alloc must be invalid")
+	}
+	if _, _, err := f.AllocSlab("nope", 64); !errors.Is(err, ErrUnknownNode) {
+		t.Error("unknown node must fail")
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, _ := f.AllocSlab("mem0", 1024)
+	payload := []byte("the quick brown fox")
+	if _, err := f.Write(id, 100, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.Read(id, 100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read back %q, want %q", got, payload)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, _ := f.AllocSlab("mem0", 64)
+	buf := make([]byte, 65)
+	if _, err := f.Read(id, 0, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Error("oversized read must fail")
+	}
+	if _, err := f.Write(id, -1, buf[:1]); !errors.Is(err, ErrOutOfRange) {
+		t.Error("negative offset must fail")
+	}
+	if _, err := f.Read(SlabID{Node: "mem0", Slab: 999}, 0, buf[:1]); !errors.Is(err, ErrBadSlab) {
+		t.Error("unknown slab must fail")
+	}
+}
+
+func TestVerbTimeScalesWithPayload(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, _ := f.AllocSlab("mem0", 1<<20)
+	small := make([]byte, 64)
+	big := make([]byte, 1<<19)
+	dSmall, err := f.Read(id, 0, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBig, err := f.Read(id, 0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBig <= dSmall {
+		t.Errorf("large verb (%v) must cost more than small (%v)", dBig, dSmall)
+	}
+	if dSmall < 3*time.Microsecond {
+		t.Errorf("every verb pays at least the RTT, got %v", dSmall)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, _ := f.AllocSlab("mem0", 64)
+	if _, err := f.CompareAndSwap(id, 0, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.Read(id, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := beUint64(buf); got != 42 {
+		t.Errorf("CAS stored %d, want 42", got)
+	}
+	if _, err := f.CompareAndSwap(id, 0, 0, 7); !errors.Is(err, ErrCASMismatch) {
+		t.Error("stale compare must fail")
+	}
+	if _, err := f.CompareAndSwap(id, 60, 0, 7); !errors.Is(err, ErrOutOfRange) {
+		t.Error("CAS straddling the slab end must fail")
+	}
+}
+
+func TestCrashLosesDataAndRestartIsEmpty(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, _ := f.AllocSlab("mem0", 64)
+	if _, err := f.Write(id, 0, []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Crash("mem0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(id, 0, make([]byte, 8)); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("read from crashed node err = %v, want ErrUnreachable", err)
+	}
+	if err := f.Restart("mem0"); err != nil {
+		t.Fatal(err)
+	}
+	// Volatile contents are gone: the slab no longer exists.
+	if _, err := f.Read(id, 0, make([]byte, 8)); !errors.Is(err, ErrBadSlab) {
+		t.Errorf("read after restart err = %v, want ErrBadSlab", err)
+	}
+	used, _, _ := f.NodeUsage("mem0")
+	if used != 0 {
+		t.Error("restarted node must be empty")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	f := newTestFabric(t, 2)
+	id, _, _ := f.AllocSlab("mem1", 64)
+	if _, err := f.Write(id, 0, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Partition("mem1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(id, 0, make([]byte, 8)); !errors.Is(err, ErrUnreachable) {
+		t.Error("partitioned node must be unreachable")
+	}
+	if got := f.AliveNodes(); len(got) != 1 || got[0] != "mem0" {
+		t.Errorf("alive = %v, want [mem0]", got)
+	}
+	if err := f.Heal("mem1"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.Read(id, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "survives" {
+		t.Error("partition must not lose data")
+	}
+}
+
+func TestFaultOpsUnknownNode(t *testing.T) {
+	f := newTestFabric(t, 1)
+	for _, op := range []func(string) error{f.Crash, f.Restart, f.Partition, f.Heal} {
+		if err := op("ghost"); !errors.Is(err, ErrUnknownNode) {
+			t.Error("fault ops on unknown nodes must fail")
+		}
+	}
+}
+
+func TestNodesListing(t *testing.T) {
+	f := newTestFabric(t, 3)
+	if got := f.Nodes(); len(got) != 3 || got[0] != "mem0" {
+		t.Errorf("Nodes() = %v", got)
+	}
+	f.Crash("mem1")
+	if got := f.AliveNodes(); len(got) != 2 {
+		t.Errorf("alive = %v", got)
+	}
+	if got := f.Nodes(); len(got) != 3 {
+		t.Error("Nodes() lists crashed nodes too")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, _ := f.AllocSlab("mem0", 1024)
+	f.Write(id, 0, make([]byte, 100))
+	f.Read(id, 0, make([]byte, 100))
+	verbs, moved := f.Stats()
+	if verbs != 3 { // alloc + write + read
+		t.Errorf("verbs = %d, want 3", verbs)
+	}
+	if moved != 200 {
+		t.Errorf("bytes = %d, want 200", moved)
+	}
+}
+
+// Property: any write/read sequence round-trips bytes exactly, regardless of
+// offset and length, while in range.
+func TestReadWriteProperty(t *testing.T) {
+	f := NewFabric(Config{})
+	if err := f.AddNode("m", 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	id, _, _ := f.AllocSlab("m", 1<<16)
+	fn := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % (1<<16 - int64(len(data)))
+		if o < 0 {
+			return true
+		}
+		if _, err := f.Write(id, o, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := f.Read(id, o, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigEndianHelpers(t *testing.T) {
+	buf := make([]byte, 8)
+	putBEUint64(buf, 0x0123456789abcdef)
+	if beUint64(buf) != 0x0123456789abcdef {
+		t.Error("big-endian round trip failed")
+	}
+}
+
+func BenchmarkOneSidedRead(b *testing.B) {
+	f := NewFabric(Config{})
+	if err := f.AddNode("m", 1<<26); err != nil {
+		b.Fatal(err)
+	}
+	id, _, _ := f.AllocSlab("m", 1<<26)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Read(id, int64(i%1000)*4096, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// This file implements runtime-level checkpoint/restart — the paper's
+// challenge 8(3): "failures may lead to data loss and force applications to
+// stop and restart. Therefore, our programming model and its runtime system
+// must implement suitable mechanisms that guarantee fault tolerance."
+//
+// The mechanism follows the dataflow structure: a task's externally visible
+// effect is its output region, so after each task completes the runtime
+// snapshots that output into a fault-tolerant far-memory store
+// (internal/fault — replication or Carbink-style erasure coding, the
+// operator's choice). When a task fails, RunWithRecovery re-runs the job:
+// tasks with a snapshot are *restored* — their output is fetched from the
+// store into a fresh region and handed to successors — instead of
+// re-executed.
+//
+// Scope: the snapshot covers dataflow state (task outputs). Side effects on
+// job-global regions are transient by definition (Global Scratch) or
+// synchronization state (Global State) that tasks must be able to rebuild —
+// the same contract Spark-style lineage recovery imposes.
+
+// Checkpointer stores per-(job, task) output snapshots in a fault.Store.
+type Checkpointer struct {
+	store fault.Store
+
+	mu      sync.Mutex
+	entries map[string]ckEntry // "job/task" → entry
+}
+
+type ckEntry struct {
+	obj  fault.ObjectID
+	size int64
+	// done marks tasks that completed without an output (sinks whose
+	// effect is logs/final state only).
+	done bool
+}
+
+// NewCheckpointer wraps a fault-tolerant store.
+func NewCheckpointer(store fault.Store) *Checkpointer {
+	return &Checkpointer{store: store, entries: make(map[string]ckEntry)}
+}
+
+func ckKey(job, task string) string { return job + "/" + task }
+
+// lookup returns the entry for a task, if any.
+func (c *Checkpointer) lookup(job, task string) (ckEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[ckKey(job, task)]
+	return e, ok
+}
+
+// snapshot persists a completed task's output bytes (nil for output-less
+// tasks) and returns the virtual time the store took.
+func (c *Checkpointer) snapshot(job, task string, data []byte) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := ckKey(job, task)
+	if old, ok := c.entries[key]; ok && !old.done {
+		// Re-checkpoint (job re-ran from scratch): drop the stale object.
+		c.store.Delete(old.obj) //nolint:errcheck // best-effort GC
+	}
+	if len(data) == 0 {
+		c.entries[key] = ckEntry{done: true}
+		return 0, nil
+	}
+	obj, d, err := c.store.Put(data)
+	if err != nil {
+		return d, fmt.Errorf("core: checkpoint %s: %w", key, err)
+	}
+	c.entries[key] = ckEntry{obj: obj, size: int64(len(data))}
+	return d, nil
+}
+
+// restore fetches a snapshot's bytes.
+func (c *Checkpointer) restore(job, task string) ([]byte, time.Duration, error) {
+	c.mu.Lock()
+	e, ok := c.entries[ckKey(job, task)]
+	c.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no checkpoint for %s/%s", job, task)
+	}
+	if e.done {
+		return nil, 0, nil
+	}
+	data, d, err := c.store.Get(e.obj)
+	if err != nil {
+		return nil, d, fmt.Errorf("core: restoring %s/%s: %w", job, task, err)
+	}
+	return data, d, nil
+}
+
+// Forget drops all snapshots of a job (after successful completion).
+func (c *Checkpointer) Forget(job string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := job + "/"
+	for k, e := range c.entries {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			if !e.done {
+				c.store.Delete(e.obj) //nolint:errcheck // best-effort GC
+			}
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Snapshots returns the number of stored entries (tests, reports).
+func (c *Checkpointer) Snapshots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// RunWithRecovery executes the job, checkpointing each task's output into
+// ck's store; on task failure it retries (up to maxAttempts total runs),
+// restoring completed tasks from their snapshots instead of re-executing
+// them. Returns the final report, the number of attempts used, and the
+// first error if all attempts failed. Snapshots are forgotten on success.
+func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttempts int) (*Report, int, error) {
+	if ck == nil {
+		return nil, 0, fmt.Errorf("core: nil checkpointer")
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 2
+	}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		rep, err := rt.execute(job, ck)
+		if err == nil {
+			ck.Forget(job.Name())
+			return rep, attempt, nil
+		}
+		lastErr = err
+		rt.tel.Add(telemetry.LayerFault, "job_retries", 1)
+	}
+	return nil, maxAttempts, fmt.Errorf("core: job %s failed after %d attempts: %w", job.Name(), maxAttempts, lastErr)
+}
+
+// checkpointTask snapshots a completed task's output (if any) into the
+// checkpointer's store, charging the store's virtual time to the task.
+func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
+	var data []byte
+	if ctx.output != nil {
+		size, err := ctx.output.Size()
+		if err != nil {
+			return err
+		}
+		data = make([]byte, size)
+		f := ctx.output.ReadAsync(ctx.now, 0, data)
+		now, err := f.Await(ctx.now)
+		if err != nil {
+			return err
+		}
+		ctx.now = now
+	}
+	d, err := r.ck.snapshot(r.job.Name(), t.ID(), data)
+	if err != nil {
+		return err
+	}
+	ctx.now += d
+	r.rt.tel.Add(telemetry.LayerFault, "checkpoints", 1)
+	return nil
+}
+
+// restoreTask replays a checkpointed task: inputs are discarded (their
+// producer's effect is already captured downstream), the stored output is
+// materialized into a fresh region, and delivery proceeds as usual.
+func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration, coreIdx int, start time.Duration) error {
+	for _, p := range t.Preds() {
+		if h := r.pending[t.ID()][p.ID()]; h != nil {
+			h.Release() //nolint:errcheck // discarding a superseded input
+			delete(r.pending[t.ID()], p.ID())
+		}
+	}
+	// Adopt inputs list as empty: the restored task does not run.
+	data, d, err := r.ck.restore(r.job.Name(), t.ID())
+	if err != nil {
+		return err
+	}
+	ctx.now += d
+	if data != nil {
+		out, err := ctx.Output(int64(len(data)))
+		if err != nil {
+			return err
+		}
+		f := out.WriteAsync(ctx.now, 0, data)
+		now, err := f.Await(ctx.now)
+		if err != nil {
+			return err
+		}
+		ctx.now = now
+		if err := r.deliverOutput(ctx, t); err != nil {
+			ctx.releaseAll()
+			return err
+		}
+	}
+	ctx.Log("restored from checkpoint")
+	r.rt.tel.Add(telemetry.LayerFault, "restores", 1)
+	cores[coreIdx] = ctx.now
+	r.finish[t.ID()] = ctx.now
+	r.report.Tasks[t.ID()] = &TaskReport{
+		Task: t.ID(), Compute: ctx.compute.ID,
+		Start: start, Finish: ctx.now,
+		Regions: ctx.regions, Logs: ctx.logs,
+	}
+	return nil
+}

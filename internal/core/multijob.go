@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/region"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// This file adds concurrent multi-job execution — the deployment shape the
+// paper targets ("dataflow systems that serve thousands of jobs in parallel
+// on such complex hardware landscapes", §2.1) and the reason the RTS must
+// "optimize for concurrently running jobs" (§3, challenges 1-3).
+//
+// Jobs are scheduled independently (each gets its own HEFT plan) but
+// *execute* against shared compute cores and shared memory devices: core
+// slots serialize tasks, device service queues serialize transfers, and
+// the placement optimizer sees the other jobs' allocations through device
+// free-capacity. Contention is therefore emergent, not modeled.
+
+// JobResult pairs a job's report with isolation diagnostics.
+type JobResult struct {
+	Report *Report
+	// Stretch is this job's concurrent makespan divided by its makespan
+	// when run alone on an identical testbed — the interference factor.
+	// Only set when ComputeStretch was requested.
+	Stretch float64
+}
+
+// MultiReport is the outcome of RunAll.
+type MultiReport struct {
+	Jobs map[string]*JobResult
+	// Makespan is the finish time of the last task across all jobs.
+	Makespan time.Duration
+	// SumIsolated is the sum of isolated makespans (sequential baseline);
+	// only set when ComputeStretch was requested.
+	SumIsolated time.Duration
+}
+
+// String renders a per-job summary.
+func (m *MultiReport) String() string {
+	names := make([]string, 0, len(m.Jobs))
+	for n := range m.Jobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("%d jobs, combined makespan %v\n", len(m.Jobs), m.Makespan)
+	for _, n := range names {
+		jr := m.Jobs[n]
+		out += fmt.Sprintf("  %-16s makespan %12v", n, jr.Report.Makespan)
+		if jr.Stretch > 0 {
+			out += fmt.Sprintf("  stretch %.2f×", jr.Stretch)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// MultiConfig tunes RunAll.
+type MultiConfig struct {
+	// ComputeStretch additionally runs every job alone on a fresh default
+	// testbed to report per-job interference factors. Costs one extra run
+	// per job.
+	ComputeStretch bool
+}
+
+// RunAll executes several jobs concurrently on this runtime's shared
+// topology. Job names must be unique (they namespace region owners and
+// job-level globals).
+func (rt *Runtime) RunAll(jobs []*dataflow.Job, cfg MultiConfig) (*MultiReport, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("core: no jobs")
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if j == nil {
+			return nil, fmt.Errorf("core: nil job")
+		}
+		if seen[j.Name()] {
+			return nil, fmt.Errorf("core: duplicate job name %q", j.Name())
+		}
+		seen[j.Name()] = true
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("core: job %s: %w", j.Name(), err)
+		}
+	}
+
+	rt.topo.ResetQueues() // one fresh epoch shared by every job below
+	// Shared core availability across all jobs.
+	cores := make(map[string][]time.Duration)
+	for _, c := range rt.topo.Computes() {
+		cores[c.ID] = make([]time.Duration, c.Cores)
+	}
+
+	// Jobs are scheduled in submission order against the *accumulating*
+	// load of previously admitted jobs, so the scheduler spreads them
+	// across the cluster (a load-aware scheduler is used when available);
+	// execution then shares the real core state.
+	loadAware, _ := rt.sched.(interface {
+		ScheduleLoaded(*dataflow.Job, *topology.Topology, map[string][]time.Duration) (*sched.Schedule, error)
+	})
+	load := make(map[string][]time.Duration)
+	for _, c := range rt.topo.Computes() {
+		load[c.ID] = make([]time.Duration, c.Cores)
+	}
+	runs := make([]*run, 0, len(jobs))
+	orders := make([][]*dataflow.Task, 0, len(jobs))
+	for _, j := range jobs {
+		var schedule *sched.Schedule
+		var err error
+		if loadAware != nil {
+			schedule, err = loadAware.ScheduleLoaded(j, rt.topo, load)
+		} else {
+			schedule, err = rt.sched.Schedule(j, rt.topo)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling %s: %w", j.Name(), err)
+		}
+		// Fold the new plan into the load estimate.
+		for _, a := range schedule.Assignments {
+			cores := load[a.Compute]
+			idx := 0
+			for i := range cores {
+				if cores[i] < cores[idx] {
+					idx = i
+				}
+			}
+			if a.Finish > cores[idx] {
+				cores[idx] = a.Finish
+			}
+		}
+		r := &run{
+			rt: rt, job: j, schedule: schedule,
+			cores:   cores, // shared!
+			finish:  make(map[string]time.Duration),
+			pending: make(map[string]map[string]*region.Handle),
+			globals: make(map[string]*globalEntry),
+			peak:    make(map[string]int64),
+			report: &Report{
+				Job: j.Name(), Scheduler: rt.sched.Name(), Placer: rt.placer.Name(),
+				Tasks:        make(map[string]*TaskReport),
+				FinalOutputs: make(map[string]string),
+			},
+		}
+		order, err := j.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+		orders = append(orders, order)
+	}
+
+	// Interleaved execution: always advance the job whose next task has
+	// the earliest scheduled start (fair, deterministic interleaving).
+	cursors := make([]int, len(runs))
+	for {
+		best := -1
+		var bestStart time.Duration
+		for i, r := range runs {
+			if cursors[i] >= len(orders[i]) {
+				continue
+			}
+			next := orders[i][cursors[i]]
+			start := r.schedule.Assignments[next.ID()].Start
+			if best < 0 || start < bestStart {
+				best, bestStart = i, start
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := runs[best]
+		t := orders[best][cursors[best]]
+		cursors[best]++
+		if err := r.execTask(t); err != nil {
+			for _, rr := range runs {
+				rr.cleanup()
+			}
+			return nil, fmt.Errorf("core: job %s task %s: %w", r.job.Name(), t.ID(), err)
+		}
+	}
+
+	out := &MultiReport{Jobs: make(map[string]*JobResult, len(runs))}
+	for _, r := range runs {
+		r.cleanup()
+		r.report.PeakDeviceBytes = r.peak
+		for _, tr := range r.report.Tasks {
+			if tr.Finish > r.report.Makespan {
+				r.report.Makespan = tr.Finish
+			}
+		}
+		if r.report.Makespan > out.Makespan {
+			out.Makespan = r.report.Makespan
+		}
+		out.Jobs[r.job.Name()] = &JobResult{Report: r.report}
+	}
+
+	if cfg.ComputeStretch {
+		for i, j := range jobs {
+			iso, err := New(Config{Scheduler: rt.sched})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := iso.Run(j)
+			if err != nil {
+				return nil, fmt.Errorf("core: isolated baseline for %s: %w", j.Name(), err)
+			}
+			out.SumIsolated += rep.Makespan
+			if rep.Makespan > 0 {
+				out.Jobs[j.Name()].Stretch = float64(runs[i].report.Makespan) / float64(rep.Makespan)
+			}
+		}
+	}
+	return out, nil
+}

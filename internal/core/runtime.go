@@ -1,0 +1,412 @@
+// Package core implements the paper's runtime system (RTS, §2.3) and is the
+// public programming-model API of this library. The RTS:
+//
+//  1. determines at runtime which physical memory device fits each task's
+//     declared requirements (via the placement optimizer),
+//  2. allocates the Memory Regions tasks request (via the region manager),
+//  3. deallocates regions after the last owning task finishes,
+//  4. schedules tasks resource-aware onto heterogeneous compute devices,
+//
+// and moves data between tasks by ownership transfer (Fig. 4), falling back
+// to physical copies only when the receiving compute device cannot address
+// the producer's placement within the declared properties.
+//
+// Applications build a dataflow.Job, attach declarative properties, and call
+// Runtime.Run. Everything below the Job API — devices, interconnects,
+// coherence, fault tolerance — is simulated (see DESIGN.md §2), so runs are
+// deterministic and hardware-independent.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/placement"
+	"repro/internal/props"
+	"repro/internal/region"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Config assembles a Runtime. Zero fields get production defaults: the
+// reference single-node testbed, the best-fit placement optimizer, and the
+// HEFT scheduler.
+type Config struct {
+	Topology  *topology.Topology
+	Placer    region.Placer
+	Scheduler sched.Scheduler
+	Telemetry *telemetry.Registry
+}
+
+// Runtime is the RTS instance. It is safe for sequential job submission;
+// one Run executes one job to completion on the virtual clock.
+type Runtime struct {
+	topo    *topology.Topology
+	placer  region.Placer
+	sched   sched.Scheduler
+	regions *region.Manager
+	tel     *telemetry.Registry
+}
+
+// New builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	topo := cfg.Topology
+	if topo == nil {
+		t, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+		if err != nil {
+			return nil, err
+		}
+		topo = t
+	}
+	placer := cfg.Placer
+	if placer == nil {
+		placer = placement.NewBestFit(topo)
+	}
+	scheduler := cfg.Scheduler
+	if scheduler == nil {
+		scheduler = sched.HEFT{}
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placer, Telemetry: tel})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{topo: topo, placer: placer, sched: scheduler, regions: mgr, tel: tel}, nil
+}
+
+// Topology returns the hardware graph.
+func (rt *Runtime) Topology() *topology.Topology { return rt.topo }
+
+// Regions exposes the region manager (examples and tests).
+func (rt *Runtime) Regions() *region.Manager { return rt.regions }
+
+// Telemetry returns the cross-layer metrics registry.
+func (rt *Runtime) Telemetry() *telemetry.Registry { return rt.tel }
+
+// TaskReport describes one executed task.
+type TaskReport struct {
+	Task    string
+	Compute string
+	Start   time.Duration
+	Finish  time.Duration
+	// Regions maps region label → physical device the RTS chose, the
+	// observable outcome of declarative placement (Fig. 3).
+	Regions map[string]string
+	Logs    []string
+}
+
+// Report is the outcome of one job run.
+type Report struct {
+	Job       string
+	Scheduler string
+	Placer    string
+	Makespan  time.Duration
+	Tasks     map[string]*TaskReport
+	// PeakDeviceBytes is the high-water allocation per device.
+	PeakDeviceBytes map[string]int64
+	// FinalOutputs maps sink task → device holding its retained output.
+	FinalOutputs map[string]string
+}
+
+// String renders the report as a fixed-width table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %q (%s scheduler, %s placer): makespan %v\n", r.Job, r.Scheduler, r.Placer, r.Makespan)
+	ids := make([]string, 0, len(r.Tasks))
+	for id := range r.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return r.Tasks[ids[a]].Start < r.Tasks[ids[b]].Start })
+	for _, id := range ids {
+		t := r.Tasks[id]
+		fmt.Fprintf(&b, "  %-22s on %-14s %12v → %12v\n", t.Task, t.Compute, t.Start, t.Finish)
+		names := make([]string, 0, len(t.Regions))
+		for n := range t.Regions {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "      region %-18s → %s\n", n, t.Regions[n])
+		}
+		for _, l := range t.Logs {
+			fmt.Fprintf(&b, "      log: %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// globalEntry is a job-wide named region (Global State / Global Scratch).
+type globalEntry struct {
+	handle *region.Handle
+	class  props.RegionClass
+	shared map[string]*region.Handle // task id → that task's share
+}
+
+// run is the per-job execution state.
+type run struct {
+	rt       *Runtime
+	job      *dataflow.Job
+	schedule *sched.Schedule
+	cores    map[string][]time.Duration
+	finish   map[string]time.Duration
+	// pending maps consumer task → producer task → delivered handle.
+	pending map[string]map[string]*region.Handle
+	globals map[string]*globalEntry
+	report  *Report
+	peak    map[string]int64
+	ck      *Checkpointer // nil unless RunWithRecovery drives the run
+}
+
+// Run executes the job to completion on the virtual clock and returns the
+// report. On task failure every live region is released before returning
+// (no leaks), and the error identifies the failing task.
+func (rt *Runtime) Run(job *dataflow.Job) (*Report, error) {
+	return rt.execute(job, nil)
+}
+
+// execute is the shared engine behind Run and RunWithRecovery.
+func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer) (*Report, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	// Each run is a fresh virtual-time epoch: device service queues drain
+	// in the wall-clock gap between job submissions. (RunAll shares one
+	// epoch across its jobs — that is where contention is the point.)
+	rt.topo.ResetQueues()
+	schedule, err := rt.sched.Schedule(job, rt.topo)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{
+		rt:       rt,
+		job:      job,
+		schedule: schedule,
+		ck:       ck,
+		cores:    make(map[string][]time.Duration),
+		finish:   make(map[string]time.Duration),
+		pending:  make(map[string]map[string]*region.Handle),
+		globals:  make(map[string]*globalEntry),
+		peak:     make(map[string]int64),
+		report: &Report{
+			Job: job.Name(), Scheduler: rt.sched.Name(), Placer: rt.placer.Name(),
+			Tasks:        make(map[string]*TaskReport),
+			FinalOutputs: make(map[string]string),
+		},
+	}
+	for _, c := range rt.topo.Computes() {
+		r.cores[c.ID] = make([]time.Duration, c.Cores)
+	}
+	order, err := job.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range order {
+		if err := r.execTask(t); err != nil {
+			r.cleanup()
+			return nil, fmt.Errorf("core: task %s: %w", t.ID(), err)
+		}
+	}
+	r.cleanup()
+	r.report.PeakDeviceBytes = r.peak
+	for _, tr := range r.report.Tasks {
+		if tr.Finish > r.report.Makespan {
+			r.report.Makespan = tr.Finish
+		}
+	}
+	return r.report, nil
+}
+
+// samplePeak records per-device high-water allocation.
+func (r *run) samplePeak() {
+	for dev, b := range r.rt.regions.DeviceBytes() {
+		if b > r.peak[dev] {
+			r.peak[dev] = b
+		}
+	}
+}
+
+// execTask runs one task at its scheduled placement.
+func (r *run) execTask(t *dataflow.Task) error {
+	asg, ok := r.schedule.Assignments[t.ID()]
+	if !ok {
+		return errors.New("core: task missing from schedule")
+	}
+	comp, ok := r.rt.topo.Compute(asg.Compute)
+	if !ok {
+		return fmt.Errorf("core: scheduled on unknown device %s", asg.Compute)
+	}
+	// Ready when all predecessors finished.
+	var ready time.Duration
+	for _, p := range t.Preds() {
+		if f := r.finish[p.ID()]; f > ready {
+			ready = f
+		}
+	}
+	// Earliest free core on the assigned device.
+	cores := r.cores[asg.Compute]
+	coreIdx := 0
+	for i := range cores {
+		if cores[i] < cores[coreIdx] {
+			coreIdx = i
+		}
+	}
+	start := ready
+	if cores[coreIdx] > start {
+		start = cores[coreIdx]
+	}
+
+	ctx := &taskCtx{
+		run: r, task: t, compute: comp,
+		now:     start,
+		owner:   region.Owner(r.job.Name() + "/" + t.ID()),
+		regions: make(map[string]string),
+	}
+	// Recovery fast path: a checkpointed task is restored, not re-run.
+	if r.ck != nil {
+		if _, ok := r.ck.lookup(r.job.Name(), t.ID()); ok {
+			return r.restoreTask(ctx, t, cores, coreIdx, start)
+		}
+	}
+	// Collect inputs: transfer exclusive outputs from predecessors (the
+	// Fig. 4 handover), adopt shared ones as-is.
+	for _, p := range t.Preds() {
+		h := r.pending[t.ID()][p.ID()]
+		if h == nil {
+			continue
+		}
+		if cls, err := h.Class(); err == nil && cls == props.Transfer {
+			nh, done, err := h.Transfer(ctx.now, ctx.owner, asg.Compute)
+			if err != nil {
+				return fmt.Errorf("input transfer from %s: %w", p.ID(), err)
+			}
+			ctx.now = done
+			h = nh
+		}
+		ctx.inputs = append(ctx.inputs, h)
+		delete(r.pending[t.ID()], p.ID())
+	}
+
+	// Run the body; structural tasks (nil fn) still cost their declared
+	// Ops and produce their declared output.
+	if fn := t.Fn(); fn != nil {
+		if err := fn(ctx); err != nil {
+			ctx.releaseAll()
+			return err
+		}
+	}
+	ctx.Charge(t.Props().Ops)
+	if ctx.output == nil && t.Props().OutputBytes > 0 && len(t.Succs()) > 0 {
+		if _, err := ctx.Output(t.Props().OutputBytes); err != nil {
+			ctx.releaseAll()
+			return fmt.Errorf("implicit output: %w", err)
+		}
+	}
+	r.samplePeak()
+
+	// Snapshot the output before it is handed over (fault tolerance).
+	if r.ck != nil {
+		if err := r.checkpointTask(ctx, t); err != nil {
+			ctx.releaseAll()
+			return err
+		}
+	}
+
+	// Hand the output over.
+	if ctx.output != nil {
+		if err := r.deliverOutput(ctx, t); err != nil {
+			ctx.releaseAll()
+			return err
+		}
+	}
+	// Scratch dies with the task; inputs were consumed.
+	ctx.releaseScratchAndInputs()
+	// Release this task's shares of globals (the job-level owner keeps
+	// them alive until the job ends).
+	for name, h := range ctx.globalShares {
+		if err := h.Release(); err != nil {
+			return fmt.Errorf("releasing global %s: %w", name, err)
+		}
+	}
+
+	cores[coreIdx] = ctx.now
+	r.finish[t.ID()] = ctx.now
+	r.report.Tasks[t.ID()] = &TaskReport{
+		Task: t.ID(), Compute: asg.Compute,
+		Start: start, Finish: ctx.now,
+		Regions: ctx.regions, Logs: ctx.logs,
+	}
+	r.rt.tel.Record(telemetry.Span{
+		Layer: telemetry.LayerRuntime, Job: r.job.Name(), Task: t.ID(),
+		Name: "exec", Start: start, End: ctx.now,
+	})
+	return nil
+}
+
+// deliverOutput routes a finished task's output region to its successors:
+// one successor → exclusive pending transfer; several → shared grants
+// (Global Scratch semantics); none → retained as the job's final output.
+func (r *run) deliverOutput(ctx *taskCtx, t *dataflow.Task) error {
+	succs := t.Succs()
+	switch len(succs) {
+	case 0:
+		dev, err := ctx.output.DeviceID()
+		if err != nil {
+			return err
+		}
+		r.report.FinalOutputs[t.ID()] = dev
+		// Retain until cleanup.
+		r.globals["__final__/"+t.ID()] = &globalEntry{handle: ctx.output}
+		ctx.output = nil
+		return nil
+	case 1:
+		if r.pending[succs[0].ID()] == nil {
+			r.pending[succs[0].ID()] = make(map[string]*region.Handle)
+		}
+		r.pending[succs[0].ID()][t.ID()] = ctx.output
+		ctx.output = nil
+		return nil
+	default:
+		for _, s := range succs {
+			sAsg := r.schedule.Assignments[s.ID()]
+			sh, err := ctx.output.Share(region.Owner(r.job.Name()+"/"+s.ID()+"/in"), sAsg.Compute)
+			if err != nil {
+				return fmt.Errorf("sharing output with %s: %w", s.ID(), err)
+			}
+			if r.pending[s.ID()] == nil {
+				r.pending[s.ID()] = make(map[string]*region.Handle)
+			}
+			r.pending[s.ID()][t.ID()] = sh
+		}
+		// The producer's own claim ends; the shares keep the region alive.
+		if err := ctx.output.Release(); err != nil {
+			return err
+		}
+		ctx.output = nil
+		return nil
+	}
+}
+
+// cleanup releases everything the run still holds: job globals, retained
+// final outputs, and any undelivered pending handles (failure paths).
+func (r *run) cleanup() {
+	for _, g := range r.globals {
+		if g.handle != nil {
+			g.handle.Release() //nolint:errcheck // best-effort teardown
+		}
+	}
+	r.globals = map[string]*globalEntry{}
+	for _, m := range r.pending {
+		for _, h := range m {
+			h.Release() //nolint:errcheck // best-effort teardown
+		}
+	}
+	r.pending = map[string]map[string]*region.Handle{}
+}

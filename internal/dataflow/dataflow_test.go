@@ -1,0 +1,210 @@
+package dataflow
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func diamond() *Job {
+	j := NewJob("diamond")
+	a := j.Task("a", Props{Ops: 10}, nil)
+	b := j.Task("b", Props{Ops: 20}, nil)
+	c := j.Task("c", Props{Ops: 30}, nil)
+	d := j.Task("d", Props{Ops: 5}, nil)
+	a.Then(b)
+	a.Then(c)
+	b.Then(d)
+	c.Then(d)
+	return j
+}
+
+func TestJobConstruction(t *testing.T) {
+	j := diamond()
+	if j.Name() != "diamond" || j.Len() != 4 {
+		t.Fatalf("job = %s/%d", j.Name(), j.Len())
+	}
+	a, ok := j.Get("a")
+	if !ok {
+		t.Fatal("missing task a")
+	}
+	if len(a.Succs()) != 2 {
+		t.Errorf("a succs = %d, want 2", len(a.Succs()))
+	}
+	d, _ := j.Get("d")
+	if len(d.Preds()) != 2 {
+		t.Errorf("d preds = %d, want 2", len(d.Preds()))
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateTaskPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate id must panic")
+		}
+	}()
+	j := NewJob("x")
+	j.Task("t", Props{}, nil)
+	j.Task("t", Props{}, nil)
+}
+
+func TestEmptyIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty id must panic")
+		}
+	}()
+	NewJob("x").Task("", Props{}, nil)
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	j := diamond()
+	order, err := j.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, task := range order {
+		pos[task.ID()] = i
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %s→%s violated in order %v", e[0], e[1], pos)
+		}
+	}
+	// Deterministic: two calls agree.
+	order2, _ := j.TopoOrder()
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatal("topo order must be deterministic")
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	j := NewJob("cyclic")
+	a := j.Task("a", Props{}, nil)
+	b := j.Task("b", Props{}, nil)
+	a.Then(b)
+	b.Then(a)
+	if err := j.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateRejectsEmptyAndNegative(t *testing.T) {
+	if err := NewJob("empty").Validate(); err == nil {
+		t.Error("empty job must fail validation")
+	}
+	j := NewJob("neg")
+	j.Task("t", Props{Ops: -1}, nil)
+	if err := j.Validate(); err == nil {
+		t.Error("negative ops must fail validation")
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	j := diamond()
+	if s := j.Sources(); len(s) != 1 || s[0].ID() != "a" {
+		t.Errorf("sources = %v", s)
+	}
+	if s := j.Sinks(); len(s) != 1 || s[0].ID() != "d" {
+		t.Errorf("sinks = %v", s)
+	}
+}
+
+func TestCriticalPathOps(t *testing.T) {
+	j := diamond()
+	cp, err := j.CriticalPathOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 45 { // a(10) → c(30) → d(5)
+		t.Errorf("critical path = %f, want 45", cp)
+	}
+}
+
+func TestDevicePref(t *testing.T) {
+	if k, ok := OnGPU.Kind(); !ok || k != topology.GPU {
+		t.Error("OnGPU must map to topology.GPU")
+	}
+	if _, ok := AnyDevice.Kind(); ok {
+		t.Error("AnyDevice has no kind")
+	}
+	if OnCPU.String() != "CPU" || AnyDevice.String() != "any" || OnFPGA.String() != "FPGA" {
+		t.Error("pref names wrong")
+	}
+}
+
+func TestHospitalShape(t *testing.T) {
+	// The Figure 2 job: T1→T2→{T3,T4,T5}.
+	j := NewJob("hospital")
+	t1 := j.Task("preprocess", Props{Compute: OnGPU, Confidential: true, MemLatency: 1}, nil)
+	t2 := j.Task("face-recognition", Props{Compute: OnGPU, Confidential: true, MemLatency: 1}, nil)
+	t3 := j.Task("track-hours", Props{Compute: OnCPU, Confidential: true, MemLatency: 1}, nil)
+	t4 := j.Task("compute-utilization", Props{Compute: OnCPU}, nil)
+	t5 := j.Task("alert-caregivers", Props{Compute: OnCPU, Confidential: true, Persistent: true}, nil)
+	t1.Then(t2)
+	t2.Then(t3)
+	t2.Then(t4)
+	t2.Then(t5)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.Sinks()); got != 3 {
+		t.Errorf("hospital sinks = %d, want 3", got)
+	}
+	if !t5.Props().Persistent || !t5.Props().Confidential {
+		t.Error("T5 must be persistent and confidential (Fig. 2)")
+	}
+	if t4.Props().Confidential {
+		t.Error("T4 (public utilization) must not be confidential")
+	}
+}
+
+// Property: random DAGs built with forward-only edges always validate and
+// topo-sort to a full ordering consistent with every edge.
+func TestRandomDAGTopoProperty(t *testing.T) {
+	f := func(edges []uint16, n uint8) bool {
+		size := int(n%20) + 2
+		j := NewJob("rand")
+		tasks := make([]*Task, size)
+		for i := range tasks {
+			tasks[i] = j.Task(string(rune('A'+i%26))+string(rune('0'+i/26)), Props{Ops: float64(i)}, nil)
+		}
+		for _, e := range edges {
+			from := int(e) % size
+			to := int(e>>8) % size
+			if from < to { // forward-only keeps it acyclic
+				tasks[from].Then(tasks[to])
+			}
+		}
+		if err := j.Validate(); err != nil {
+			return false
+		}
+		order, err := j.TopoOrder()
+		if err != nil || len(order) != size {
+			return false
+		}
+		pos := map[*Task]int{}
+		for i, task := range order {
+			pos[task] = i
+		}
+		for _, task := range tasks {
+			for _, s := range task.Succs() {
+				if pos[task] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

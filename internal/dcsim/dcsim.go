@@ -1,0 +1,249 @@
+// Package dcsim is a discrete-event simulator of datacenter memory
+// provisioning — the quantitative backdrop of the paper's Figure 1 and of
+// the intro's utilization claim [38, 56]: servers are over-provisioned for
+// peak demand, so statically partitioned memory strands capacity that a
+// runtime-managed pool could serve.
+//
+// Jobs are (arrival, duration, memory demand) triples; two policies serve
+// the same stream:
+//
+//   - Static: job i is bound to server i mod N (compute-centric — its
+//     memory must come from its own server). If the server is full the job
+//     waits in that server's FIFO queue.
+//   - Pooled: one memory pool of the same total capacity (memory-centric,
+//     Fig. 1b). Jobs wait in a single FIFO queue only when the whole pool
+//     is exhausted.
+//
+// The simulator is event-driven and fully deterministic: a seeded LCG
+// drives the synthetic job stream, and ties break on job ID.
+package dcsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Job is one memory reservation episode.
+type Job struct {
+	ID       int
+	Arrival  time.Duration
+	Duration time.Duration // how long the memory stays allocated once admitted
+	Demand   int64         // bytes
+}
+
+// Config describes the machine park.
+type Config struct {
+	Servers   int   // number of servers (static) / pool shards (pooled)
+	PerServer int64 // bytes of memory per server
+	// MaxWait bounds queueing; jobs that would wait longer are rejected.
+	// Zero means unbounded patience.
+	MaxWait time.Duration
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if c.Servers <= 0 || c.PerServer <= 0 {
+		return errors.New("dcsim: servers and per-server capacity must be positive")
+	}
+	return nil
+}
+
+// Total returns the park's total memory.
+func (c Config) Total() int64 { return int64(c.Servers) * c.PerServer }
+
+// Result summarizes one policy's run over a job stream.
+type Result struct {
+	Policy   string
+	Admitted int
+	Rejected int
+	// AvgUtil is the time-weighted average memory utilization in [0,1]
+	// over [first arrival, last departure].
+	AvgUtil  float64
+	PeakUtil float64
+	// AvgWait / MaxWait measure queueing delay of admitted jobs.
+	AvgWait time.Duration
+	MaxWait time.Duration
+	// Makespan is the time the last admitted job departs.
+	Makespan time.Duration
+}
+
+// String renders the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: admitted %d, rejected %d, util avg %.1f%% peak %.1f%%, wait avg %v max %v",
+		r.Policy, r.Admitted, r.Rejected, 100*r.AvgUtil, 100*r.PeakUtil, r.AvgWait, r.MaxWait)
+}
+
+// PoissonJobs builds a deterministic synthetic stream: exponential
+// interarrivals (mean interarrival), exponential durations (mean
+// duration), and demands uniform in [minFrac, maxFrac] of one server.
+func PoissonJobs(seed uint64, n int, meanInterarrival, meanDuration time.Duration, perServer int64, minFrac, maxFrac float64) []Job {
+	state := seed*2862933555777941757 + 3037000493
+	next := func() float64 { // uniform (0,1)
+		state = state*6364136223846793005 + 1442695040888963407
+		return (float64(state>>11) + 1) / float64(1<<53)
+	}
+	exp := func(mean time.Duration) time.Duration {
+		return time.Duration(-float64(mean) * math.Log(next()))
+	}
+	jobs := make([]Job, n)
+	var clock time.Duration
+	for i := range jobs {
+		clock += exp(meanInterarrival)
+		frac := minFrac + (maxFrac-minFrac)*next()
+		jobs[i] = Job{
+			ID:       i,
+			Arrival:  clock,
+			Duration: exp(meanDuration) + time.Millisecond,
+			Demand:   int64(frac * float64(perServer)),
+		}
+	}
+	return jobs
+}
+
+// event is a departure in the event queue.
+type event struct {
+	at     time.Duration
+	id     int
+	server int
+	size   int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() time.Duration { return h[0].at }
+
+// run is the shared event loop. assign maps a job to a server index
+// (static) or always 0 (pooled); capacity is per-bucket.
+func run(cfg Config, jobs []Job, policy string, buckets int, capacity int64, assign func(Job) int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	ordered := append([]Job(nil), jobs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Arrival != ordered[j].Arrival {
+			return ordered[i].Arrival < ordered[j].Arrival
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	used := make([]int64, buckets)
+	queues := make([][]Job, buckets)
+	var departures eventHeap
+	res := Result{Policy: policy}
+	var utilArea float64 // ∫ used dt, in byte·ns
+	var lastT time.Duration
+	var totalUsed int64
+	var waitSum time.Duration
+	total := capacity * int64(buckets)
+
+	account := func(now time.Duration) {
+		utilArea += float64(totalUsed) * float64(now-lastT)
+		lastT = now
+	}
+	admit := func(j Job, b int, now time.Duration) {
+		used[b] += j.Demand
+		totalUsed += j.Demand
+		if u := float64(totalUsed) / float64(total); u > res.PeakUtil {
+			res.PeakUtil = u
+		}
+		heap.Push(&departures, event{at: now + j.Duration, id: j.ID, server: b, size: j.Demand})
+		res.Admitted++
+		wait := now - j.Arrival
+		waitSum += wait
+		if wait > res.MaxWait {
+			res.MaxWait = wait
+		}
+		if now+j.Duration > res.Makespan {
+			res.Makespan = now + j.Duration
+		}
+	}
+	depart := func(now time.Duration) {
+		e := heap.Pop(&departures).(event)
+		used[e.server] -= e.size
+		totalUsed -= e.size
+		// Drain this bucket's queue as far as it now fits (FIFO).
+		q := queues[e.server]
+		for len(q) > 0 && used[e.server]+q[0].Demand <= capacity {
+			j := q[0]
+			q = q[1:]
+			admit(j, e.server, now)
+		}
+		queues[e.server] = q
+	}
+
+	for _, j := range ordered {
+		// Process departures before this arrival.
+		for len(departures) > 0 && departures.peek() <= j.Arrival {
+			at := departures.peek()
+			account(at)
+			depart(at)
+		}
+		account(j.Arrival)
+		if j.Demand > capacity {
+			res.Rejected++
+			continue
+		}
+		b := assign(j)
+		if b < 0 || b >= buckets {
+			return Result{}, fmt.Errorf("dcsim: assignment %d out of range", b)
+		}
+		if len(queues[b]) == 0 && used[b]+j.Demand <= capacity {
+			admit(j, b, j.Arrival)
+			continue
+		}
+		if cfg.MaxWait > 0 {
+			// Patience bound: estimate is conservative — reject when the
+			// queue is nonempty and the job would certainly wait (the
+			// bound is exercised by tests; production would estimate).
+			if len(queues[b]) > 0 {
+				res.Rejected++
+				continue
+			}
+		}
+		queues[b] = append(queues[b], j)
+	}
+	// Drain all remaining departures.
+	for len(departures) > 0 {
+		at := departures.peek()
+		account(at)
+		depart(at)
+	}
+	if res.Admitted > 0 {
+		res.AvgWait = waitSum / time.Duration(res.Admitted)
+	}
+	if lastT > 0 {
+		res.AvgUtil = utilArea / (float64(total) * float64(lastT))
+	}
+	// Any jobs still queued never got memory.
+	for _, q := range queues {
+		res.Rejected += len(q)
+	}
+	return res, nil
+}
+
+// Static serves the stream compute-centrically: job i's memory must come
+// from server i mod Servers (Fig. 1a).
+func Static(cfg Config, jobs []Job) (Result, error) {
+	return run(cfg, jobs, "static", cfg.Servers, cfg.PerServer, func(j Job) int {
+		return j.ID % cfg.Servers
+	})
+}
+
+// Pooled serves the stream memory-centrically: one pool of the same total
+// capacity (Fig. 1b).
+func Pooled(cfg Config, jobs []Job) (Result, error) {
+	return run(cfg, jobs, "pooled", 1, cfg.Total(), func(Job) int { return 0 })
+}

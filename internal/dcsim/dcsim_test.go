@@ -1,0 +1,200 @@
+package dcsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{Servers: 8, PerServer: 256 << 30}
+}
+
+func testJobs(seed uint64, n int) []Job {
+	cfg := testConfig()
+	return PoissonJobs(seed, n, 10*time.Millisecond, 80*time.Millisecond, cfg.PerServer, 0.1, 0.9)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Static(Config{}, nil); err == nil {
+		t.Error("zero config must fail")
+	}
+	if _, err := Pooled(Config{Servers: -1, PerServer: 10}, nil); err == nil {
+		t.Error("negative servers must fail")
+	}
+}
+
+func TestPoissonJobsDeterministic(t *testing.T) {
+	a := testJobs(42, 100)
+	b := testJobs(42, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := testJobs(43, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds must differ")
+	}
+	// Arrivals are sorted, demands within bounds.
+	cfg := testConfig()
+	for i := 1; i < len(a); i++ {
+		if a[i].Arrival < a[i-1].Arrival {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+	}
+	for _, j := range a {
+		if j.Demand < int64(0.05*float64(cfg.PerServer)) || j.Demand > cfg.PerServer {
+			t.Fatalf("demand %d out of [0.1,0.9] band", j.Demand)
+		}
+		if j.Duration <= 0 {
+			t.Fatal("durations must be positive")
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	cfg := testConfig()
+	jobs := testJobs(7, 500)
+	for _, policy := range []func(Config, []Job) (Result, error){Static, Pooled} {
+		res, err := policy(cfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted+res.Rejected != len(jobs) {
+			t.Errorf("%s: %d admitted + %d rejected != %d jobs", res.Policy, res.Admitted, res.Rejected, len(jobs))
+		}
+		if res.AvgUtil < 0 || res.AvgUtil > 1 || res.PeakUtil > 1 {
+			t.Errorf("%s: utilization out of range: %+v", res.Policy, res)
+		}
+		if res.PeakUtil < res.AvgUtil {
+			t.Errorf("%s: peak below average", res.Policy)
+		}
+	}
+}
+
+func TestPooledDominatesStatic(t *testing.T) {
+	cfg := testConfig()
+	jobs := testJobs(11, 800)
+	st, err := Static(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := Pooled(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone eventually runs (unbounded patience), so admission is
+	// equal; the stranding shows up as queueing delay and lower
+	// concurrent utilization.
+	if po.AvgWait >= st.AvgWait {
+		t.Errorf("pooled wait %v must beat static %v", po.AvgWait, st.AvgWait)
+	}
+	if po.Makespan > st.Makespan {
+		t.Errorf("pooled makespan %v must not exceed static %v", po.Makespan, st.Makespan)
+	}
+}
+
+func TestOversizedJobRejected(t *testing.T) {
+	cfg := Config{Servers: 2, PerServer: 100}
+	jobs := []Job{{ID: 0, Arrival: 0, Duration: time.Second, Demand: 150}}
+	st, _ := Static(cfg, jobs)
+	if st.Rejected != 1 {
+		t.Error("static must reject a job bigger than one server")
+	}
+	// The pool can host it (total 200).
+	po, _ := Pooled(cfg, jobs)
+	if po.Admitted != 1 {
+		t.Error("pool must admit a 1.5-server job — the scale-up argument of §1")
+	}
+}
+
+func TestQueueingFIFO(t *testing.T) {
+	// One server, two jobs that cannot co-reside: second waits for first.
+	cfg := Config{Servers: 1, PerServer: 100}
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Duration: 10 * time.Millisecond, Demand: 80},
+		{ID: 1, Arrival: time.Millisecond, Duration: 10 * time.Millisecond, Demand: 80},
+	}
+	res, err := Static(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != 2 {
+		t.Fatalf("both jobs eventually run: %+v", res)
+	}
+	if res.MaxWait != 9*time.Millisecond {
+		t.Errorf("second job waits 9ms (until first departs), got %v", res.MaxWait)
+	}
+	if res.Makespan != 20*time.Millisecond {
+		t.Errorf("makespan = %v, want 20ms", res.Makespan)
+	}
+}
+
+func TestMaxWaitRejects(t *testing.T) {
+	cfg := Config{Servers: 1, PerServer: 100, MaxWait: time.Millisecond}
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Duration: 50 * time.Millisecond, Demand: 80},
+		{ID: 1, Arrival: time.Millisecond, Duration: time.Millisecond, Demand: 80},
+		{ID: 2, Arrival: 2 * time.Millisecond, Duration: time.Millisecond, Demand: 80},
+	}
+	res, err := Static(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Errorf("impatient jobs must be rejected: %+v", res)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := testConfig()
+	jobs := testJobs(5, 300)
+	a, _ := Pooled(cfg, jobs)
+	b, _ := Pooled(cfg, jobs)
+	if a != b {
+		t.Error("same input must give identical results")
+	}
+}
+
+// Property: over random seeds and loads, pooled never waits longer than
+// static on average, and utilization integrals stay in bounds.
+func TestPooledNeverWorseProperty(t *testing.T) {
+	f := func(seed uint64, loadSel uint8) bool {
+		cfg := testConfig()
+		inter := time.Duration(5+int(loadSel%20)) * time.Millisecond
+		jobs := PoissonJobs(seed, 300, inter, 60*time.Millisecond, cfg.PerServer, 0.1, 0.9)
+		st, err1 := Static(cfg, jobs)
+		po, err2 := Pooled(cfg, jobs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if po.AvgWait > st.AvgWait {
+			return false
+		}
+		if st.AvgUtil < 0 || st.AvgUtil > 1 || po.AvgUtil < 0 || po.AvgUtil > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPooled10k(b *testing.B) {
+	cfg := testConfig()
+	jobs := PoissonJobs(9, 10000, 2*time.Millisecond, 60*time.Millisecond, cfg.PerServer, 0.1, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pooled(cfg, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package fards provides application-integrated far-memory data structures
+// in the style of AIFM [48], which the paper's challenges 1-3 discussion
+// builds on: containers whose elements live behind remotable pointers
+// (internal/swizzle), so hot parts of the structure migrate into the local
+// tier automatically while the bulk stays in far memory.
+//
+// Two containers cover the common shapes:
+//
+//   - Vector: a chunked growable array; sequential scans touch chunks in
+//     order, and hot chunks (e.g. the tail of an append-heavy log) get
+//     swizzled local.
+//   - Map: a fixed-bucket hash map; skewed key access concentrates heat on
+//     few buckets, the AIFM sweet spot.
+//
+// All operations return virtual access time alongside their results.
+package fards
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/swizzle"
+)
+
+// Errors.
+var (
+	ErrOutOfRange = errors.New("fards: index out of range")
+	ErrNotFound   = errors.New("fards: key not found")
+)
+
+// Vector is a chunked []uint64 backed by a swizzle heap.
+type Vector struct {
+	heap      *swizzle.Heap
+	chunkElem int
+	chunks    []swizzle.ObjID
+	length    int
+}
+
+// NewVector builds a vector with the given elements-per-chunk.
+func NewVector(h *swizzle.Heap, chunkElem int) (*Vector, error) {
+	if h == nil {
+		return nil, errors.New("fards: nil heap")
+	}
+	if chunkElem <= 0 {
+		chunkElem = 512
+	}
+	return &Vector{heap: h, chunkElem: chunkElem}, nil
+}
+
+// Len returns the element count.
+func (v *Vector) Len() int { return v.length }
+
+// Chunks returns the chunk count (tests, reports).
+func (v *Vector) Chunks() int { return len(v.chunks) }
+
+// loadChunk fetches a chunk's bytes (paying local or remote latency).
+func (v *Vector) loadChunk(ci int) ([]byte, time.Duration, error) {
+	return v.heap.Access(v.chunks[ci])
+}
+
+// storeChunk writes back a mutated chunk. The swizzle heap hands out its
+// internal buffer, so mutations through the returned slice are already
+// visible; storeChunk exists to charge the write cost symmetrically.
+func (v *Vector) storeChunk(ci int) (time.Duration, error) {
+	_, d, err := v.heap.Access(v.chunks[ci])
+	return d, err
+}
+
+// Append adds a value, growing by one chunk when needed.
+func (v *Vector) Append(val uint64) (time.Duration, error) {
+	var total time.Duration
+	if v.length == len(v.chunks)*v.chunkElem {
+		id, err := v.heap.Alloc(make([]byte, v.chunkElem*8))
+		if err != nil {
+			return total, err
+		}
+		v.chunks = append(v.chunks, id)
+	}
+	ci := v.length / v.chunkElem
+	off := (v.length % v.chunkElem) * 8
+	buf, d, err := v.loadChunk(ci)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	binary.BigEndian.PutUint64(buf[off:], val)
+	d, err = v.storeChunk(ci)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	v.length++
+	return total, nil
+}
+
+// Get returns element i.
+func (v *Vector) Get(i int) (uint64, time.Duration, error) {
+	if i < 0 || i >= v.length {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, v.length)
+	}
+	buf, d, err := v.loadChunk(i / v.chunkElem)
+	if err != nil {
+		return 0, d, err
+	}
+	return binary.BigEndian.Uint64(buf[(i%v.chunkElem)*8:]), d, nil
+}
+
+// Set overwrites element i.
+func (v *Vector) Set(i int, val uint64) (time.Duration, error) {
+	if i < 0 || i >= v.length {
+		return 0, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, v.length)
+	}
+	ci := i / v.chunkElem
+	buf, d, err := v.loadChunk(ci)
+	if err != nil {
+		return d, err
+	}
+	binary.BigEndian.PutUint64(buf[(i%v.chunkElem)*8:], val)
+	d2, err := v.storeChunk(ci)
+	return d + d2, err
+}
+
+// Scan visits all elements in order, returning the total virtual time —
+// the workload swizzling accelerates when the scan repeats.
+func (v *Vector) Scan(fn func(i int, val uint64) bool) (time.Duration, error) {
+	var total time.Duration
+	idx := 0
+	for ci := 0; ci < len(v.chunks) && idx < v.length; ci++ {
+		buf, d, err := v.loadChunk(ci)
+		total += d
+		if err != nil {
+			return total, err
+		}
+		for e := 0; e < v.chunkElem && idx < v.length; e++ {
+			if fn != nil && !fn(idx, binary.BigEndian.Uint64(buf[e*8:])) {
+				return total, nil
+			}
+			idx++
+		}
+	}
+	return total, nil
+}
+
+// Map is a fixed-bucket chained hash map (uint64 → uint64) whose buckets
+// are far-memory objects. Entry layout per bucket: count(4) then
+// repeated key(8)|value(8) pairs, capped per bucket.
+type Map struct {
+	heap    *swizzle.Heap
+	buckets []swizzle.ObjID
+	perB    int
+	length  int
+}
+
+const mapHeader = 4
+
+// NewMap builds a map with bucketCount buckets of entriesPerBucket slots.
+func NewMap(h *swizzle.Heap, bucketCount, entriesPerBucket int) (*Map, error) {
+	if h == nil {
+		return nil, errors.New("fards: nil heap")
+	}
+	if bucketCount <= 0 {
+		bucketCount = 64
+	}
+	if entriesPerBucket <= 0 {
+		entriesPerBucket = 16
+	}
+	m := &Map{heap: h, perB: entriesPerBucket}
+	size := mapHeader + entriesPerBucket*16
+	for i := 0; i < bucketCount; i++ {
+		id, err := h.Alloc(make([]byte, size))
+		if err != nil {
+			return nil, err
+		}
+		m.buckets = append(m.buckets, id)
+	}
+	return m, nil
+}
+
+// Len returns the entry count.
+func (m *Map) Len() int { return m.length }
+
+func (m *Map) bucketOf(key uint64) swizzle.ObjID {
+	h := key * 0x9e3779b97f4a7c15
+	return m.buckets[h%uint64(len(m.buckets))]
+}
+
+// Put inserts or updates a key.
+func (m *Map) Put(key, val uint64) (time.Duration, error) {
+	buf, d, err := m.heap.Access(m.bucketOf(key))
+	if err != nil {
+		return d, err
+	}
+	n := int(binary.BigEndian.Uint32(buf[:mapHeader]))
+	for e := 0; e < n; e++ {
+		off := mapHeader + e*16
+		if binary.BigEndian.Uint64(buf[off:]) == key {
+			binary.BigEndian.PutUint64(buf[off+8:], val)
+			return d, nil
+		}
+	}
+	if n >= m.perB {
+		return d, fmt.Errorf("fards: bucket full (key %d, %d entries)", key, n)
+	}
+	off := mapHeader + n*16
+	binary.BigEndian.PutUint64(buf[off:], key)
+	binary.BigEndian.PutUint64(buf[off+8:], val)
+	binary.BigEndian.PutUint32(buf[:mapHeader], uint32(n+1))
+	m.length++
+	return d, nil
+}
+
+// Get looks a key up.
+func (m *Map) Get(key uint64) (uint64, time.Duration, error) {
+	buf, d, err := m.heap.Access(m.bucketOf(key))
+	if err != nil {
+		return 0, d, err
+	}
+	n := int(binary.BigEndian.Uint32(buf[:mapHeader]))
+	for e := 0; e < n; e++ {
+		off := mapHeader + e*16
+		if binary.BigEndian.Uint64(buf[off:]) == key {
+			return binary.BigEndian.Uint64(buf[off+8:]), d, nil
+		}
+	}
+	return 0, d, fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// Delete removes a key.
+func (m *Map) Delete(key uint64) (time.Duration, error) {
+	buf, d, err := m.heap.Access(m.bucketOf(key))
+	if err != nil {
+		return d, err
+	}
+	n := int(binary.BigEndian.Uint32(buf[:mapHeader]))
+	for e := 0; e < n; e++ {
+		off := mapHeader + e*16
+		if binary.BigEndian.Uint64(buf[off:]) == key {
+			last := mapHeader + (n-1)*16
+			copy(buf[off:off+16], buf[last:last+16])
+			binary.BigEndian.PutUint32(buf[:mapHeader], uint32(n-1))
+			m.length--
+			return d, nil
+		}
+	}
+	return d, fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// Sweep runs one swizzling epoch on the backing heap (promote hot
+// buckets/chunks), returning its migration stats.
+func Sweep(h *swizzle.Heap) (promoted, demoted int, cost time.Duration) {
+	return h.Sweep()
+}

@@ -1,0 +1,354 @@
+package fards
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/swizzle"
+)
+
+func newHeap(t testing.TB, localCap int64) *swizzle.Heap {
+	t.Helper()
+	h, err := swizzle.NewHeap(swizzle.Config{LocalCapacity: localCap, PromoteAt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestVectorAppendGetSet(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	v, err := NewVector(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := v.Append(uint64(i * 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Len() != 100 || v.Chunks() != 13 {
+		t.Errorf("len=%d chunks=%d", v.Len(), v.Chunks())
+	}
+	for i := 0; i < 100; i++ {
+		got, _, err := v.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(i*3) {
+			t.Fatalf("Get(%d) = %d", i, got)
+		}
+	}
+	if _, err := v.Set(50, 999); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := v.Get(50); got != 999 {
+		t.Errorf("after Set, Get(50) = %d", got)
+	}
+}
+
+func TestVectorBounds(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	v, _ := NewVector(h, 8)
+	if _, _, err := v.Get(0); !errors.Is(err, ErrOutOfRange) {
+		t.Error("Get on empty must fail")
+	}
+	v.Append(1)
+	if _, _, err := v.Get(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Error("negative index must fail")
+	}
+	if _, err := v.Set(5, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Error("Set past end must fail")
+	}
+	if _, err := NewVector(nil, 8); err == nil {
+		t.Error("nil heap must fail")
+	}
+}
+
+func TestVectorScan(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	v, _ := NewVector(h, 16)
+	var want uint64
+	for i := 0; i < 77; i++ {
+		v.Append(uint64(i))
+		want += uint64(i)
+	}
+	var sum uint64
+	count := 0
+	d, err := v.Scan(func(i int, val uint64) bool {
+		if i != count {
+			t.Fatalf("scan order broken at %d", i)
+		}
+		sum += val
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != want || count != 77 {
+		t.Errorf("scan sum=%d count=%d", sum, count)
+	}
+	if d <= 0 {
+		t.Error("scan must cost time")
+	}
+	// Early stop.
+	count = 0
+	v.Scan(func(int, uint64) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestVectorSwizzlingAcceleratesHotRange(t *testing.T) {
+	// A vector whose chunks overflow the local tier: the tail chunk
+	// (allocated after local space ran out, so remote) gets hammered;
+	// after a sweep it must be promoted and its accesses cheap.
+	h := newHeap(t, 8<<10) // 8 KiB local; vector needs ~32 KiB
+	v, _ := NewVector(h, 512)
+	for i := 0; i < 4096; i++ {
+		if _, err := v.Append(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hotIndex := 4095 // lives in the last (remote) chunk
+	measure := func() time.Duration {
+		var total time.Duration
+		for i := 0; i < 32; i++ {
+			_, d, err := v.Get(hotIndex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += d
+		}
+		return total
+	}
+	cold := measure()
+	h.Sweep()
+	warm := measure()
+	if warm >= cold {
+		t.Errorf("hot-chunk access after sweep (%v) should beat cold (%v)", warm, cold)
+	}
+}
+
+func TestMapPutGetDelete(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	m, err := NewMap(h, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if _, err := m.Put(k, k*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 100 {
+		t.Errorf("len = %d", m.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		v, _, err := m.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != k*k {
+			t.Fatalf("Get(%d) = %d", k, v)
+		}
+	}
+	// Update in place.
+	if _, err := m.Put(7, 123); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := m.Get(7); v != 123 {
+		t.Errorf("updated Get(7) = %d", v)
+	}
+	if m.Len() != 100 {
+		t.Error("update must not grow the map")
+	}
+	// Delete.
+	if _, err := m.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Get(7); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted key must miss")
+	}
+	if _, err := m.Delete(7); !errors.Is(err, ErrNotFound) {
+		t.Error("double delete must fail")
+	}
+	if m.Len() != 99 {
+		t.Errorf("len after delete = %d", m.Len())
+	}
+}
+
+func TestMapBucketOverflow(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	m, _ := NewMap(h, 1, 4) // one bucket, four slots
+	for k := uint64(0); k < 4; k++ {
+		if _, err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Put(99, 99); err == nil {
+		t.Error("fifth entry into a 4-slot bucket must fail")
+	}
+}
+
+func TestMapSkewedAccessBenefitsFromSwizzling(t *testing.T) {
+	// 64 buckets, tiny local tier. 90% of lookups hit 2 keys → their
+	// buckets promote; total lookup time drops after sweeps.
+	h := newHeap(t, 512)
+	m, _ := NewMap(h, 64, 8)
+	for k := uint64(0); k < 200; k++ {
+		if _, err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lookups := func() time.Duration {
+		var total time.Duration
+		state := uint64(5)
+		for i := 0; i < 500; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			key := uint64(0)
+			if (state>>33)%10 < 9 {
+				key = state % 2
+			} else {
+				key = (state >> 7) % 200
+			}
+			_, d, err := m.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += d
+		}
+		return total
+	}
+	cold := lookups()
+	for r := 0; r < 3; r++ {
+		Sweep(h)
+	}
+	warm := lookups()
+	if warm >= cold {
+		t.Errorf("skewed lookups after swizzling (%v) should beat cold (%v)", warm, cold)
+	}
+}
+
+// Property: the far map agrees with a native Go map under random
+// put/get/delete interleavings.
+func TestMapMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := swizzle.NewHeap(swizzle.Config{LocalCapacity: 1 << 16})
+		if err != nil {
+			return false
+		}
+		m, err := NewMap(h, 128, 32)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]uint64{}
+		for op := 0; op < 300; op++ {
+			key := uint64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0:
+				val := rng.Uint64()
+				if _, err := m.Put(key, val); err != nil {
+					continue // bucket overflow is legal
+				}
+				ref[key] = val
+			case 1:
+				got, _, err := m.Get(key)
+				want, ok := ref[key]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && got != want {
+					return false
+				}
+			case 2:
+				_, err := m.Delete(key)
+				_, ok := ref[key]
+				if ok != (err == nil) {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got, _, err := m.Get(k)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: vector round-trips an arbitrary sequence of appends and sets.
+func TestVectorMatchesReferenceProperty(t *testing.T) {
+	f := func(vals []uint64, setSel []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h, err := swizzle.NewHeap(swizzle.Config{LocalCapacity: 1 << 16})
+		if err != nil {
+			return false
+		}
+		v, err := NewVector(h, 32)
+		if err != nil {
+			return false
+		}
+		ref := make([]uint64, 0, len(vals))
+		for _, x := range vals {
+			if _, err := v.Append(x); err != nil {
+				return false
+			}
+			ref = append(ref, x)
+		}
+		for _, s := range setSel {
+			i := int(s) % len(ref)
+			if _, err := v.Set(i, uint64(s)); err != nil {
+				return false
+			}
+			ref[i] = uint64(s)
+		}
+		ok := true
+		v.Scan(func(i int, val uint64) bool {
+			if val != ref[i] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && v.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMapGetSkewed(b *testing.B) {
+	h, _ := swizzle.NewHeap(swizzle.Config{LocalCapacity: 4 << 10, PromoteAt: 2})
+	m, _ := NewMap(h, 256, 16)
+	for k := uint64(0); k < 1000; k++ {
+		if _, err := m.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Get(uint64(i % 10)); err != nil {
+			b.Fatal(err)
+		}
+		if i%200 == 199 {
+			Sweep(h)
+		}
+	}
+}

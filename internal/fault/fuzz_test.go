@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets complement the property tests: `go test` runs the seed
+// corpus; `go test -fuzz=FuzzRSRoundtrip ./internal/fault` explores.
+
+func FuzzRSRoundtrip(f *testing.F) {
+	f.Add([]byte("seed payload"), uint8(4), uint8(2), uint8(0b101))
+	f.Add([]byte{0}, uint8(1), uint8(1), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 300), uint8(7), uint8(3), uint8(0b1100))
+	f.Fuzz(func(t *testing.T, payload []byte, dRaw, pRaw, eraseMask uint8) {
+		if len(payload) == 0 {
+			return
+		}
+		d := int(dRaw%8) + 1
+		p := int(pRaw%4) + 1
+		rs, err := NewRS(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards, _ := rs.Split(payload)
+		if err := rs.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		// Erase up to p shards according to the mask.
+		erased := 0
+		for i := 0; i < rs.TotalShards() && erased < p; i++ {
+			if eraseMask&(1<<(i%8)) != 0 {
+				shards[i] = nil
+				erased++
+			}
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			t.Fatalf("reconstruct with %d ≤ %d erasures: %v", erased, p, err)
+		}
+		got, err := rs.Join(shards, len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload corrupted through encode/erase/reconstruct")
+		}
+	})
+}
+
+func FuzzGFInverse(f *testing.F) {
+	f.Add(uint8(1), uint8(2))
+	f.Add(uint8(255), uint8(254))
+	f.Fuzz(func(t *testing.T, a, b uint8) {
+		if a == 0 || b == 0 {
+			return
+		}
+		// (a*b)/b == a and a*inv(a) == 1.
+		if gfDiv(gfMul(a, b), b) != a {
+			t.Fatalf("(%d*%d)/%d != %d", a, b, b, a)
+		}
+		if gfMul(a, gfInv(a)) != 1 {
+			t.Fatalf("%d * inv(%d) != 1", a, a)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStripedPutGetRoundtrip(t *testing.T) {
+	f := fabricWithNodes(t, 4, 1<<20)
+	s, err := NewStripedStore(f, StripeConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10_000)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	id, d, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("put must cost time")
+	}
+	got, _, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("striped round trip corrupted data")
+	}
+	logical, physical := s.StoredBytes()
+	if logical != 10_000 || physical < logical {
+		t.Errorf("bytes = %d/%d", logical, physical)
+	}
+}
+
+func TestStripedValidation(t *testing.T) {
+	f := fabricWithNodes(t, 3, 1<<20)
+	if _, err := NewStripedStore(f, StripeConfig{Width: 4}); err == nil {
+		t.Error("width 4 on 3 nodes must fail")
+	}
+	if _, err := NewStripedStore(f, StripeConfig{Width: 2, Mirrors: -1}); err == nil {
+		t.Error("negative mirrors must fail")
+	}
+	s, err := NewStripedStore(f, StripeConfig{Width: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put(nil); err == nil {
+		t.Error("empty put must fail")
+	}
+	if _, _, err := s.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Error("unknown get must be ErrNotFound")
+	}
+	if _, err := s.Delete(42); !errors.Is(err, ErrNotFound) {
+		t.Error("unknown delete must be ErrNotFound")
+	}
+}
+
+func TestStripedBandwidthAggregation(t *testing.T) {
+	// The same 1 MiB object: width-4 striping must beat a single-node
+	// store on transfer time (parallel chunks).
+	payload := make([]byte, 1<<20)
+	f1 := fabricWithNodes(t, 4, 1<<22)
+	wide, err := NewStripedStore(f1, StripeConfig{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wideTime, err := wide.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := fabricWithNodes(t, 4, 1<<22)
+	narrow, err := NewStripedStore(f2, StripeConfig{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, narrowTime, err := narrow.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(narrowTime)/float64(wideTime) < 2 {
+		t.Errorf("width-4 put (%v) should be ≥2× faster than width-1 (%v)", wideTime, narrowTime)
+	}
+}
+
+func TestStripedWithoutMirrorsLosesDataOnCrash(t *testing.T) {
+	f := fabricWithNodes(t, 4, 1<<20)
+	s, _ := NewStripedStore(f, StripeConfig{Width: 4})
+	id, _, err := s.Put(make([]byte, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Crash("mem0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(id); err == nil {
+		t.Error("pure striping must lose data when a node dies — that's its trade-off")
+	}
+	if _, _, err := s.Recover(); err == nil {
+		t.Error("recovery without mirrors must report the loss")
+	}
+}
+
+func TestStripedMirrorsSurviveCrashAndRecover(t *testing.T) {
+	f := fabricWithNodes(t, 8, 1<<20)
+	s, err := NewStripedStore(f, StripeConfig{Width: 4, Mirrors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	id, _, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical, physical := s.StoredBytes()
+	if physical != 2*logical {
+		t.Errorf("mirror overhead = %d/%d, want 2×", physical, logical)
+	}
+	if err := f.Crash("mem0"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Get(id)
+	if err != nil {
+		t.Fatalf("mirrored read after crash: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("mirrored read corrupted data")
+	}
+	repaired, d, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 || d <= 0 {
+		t.Errorf("recover must rebuild lost replicas: repaired=%d", repaired)
+	}
+	// Survive a second crash post-recovery.
+	if err := f.Crash("mem1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Get(id); err != nil || !bytes.Equal(got, data) {
+		t.Errorf("post-recovery crash read: %v", err)
+	}
+}
+
+func TestStripedDeleteFreesEverything(t *testing.T) {
+	f := fabricWithNodes(t, 4, 1<<20)
+	s, _ := NewStripedStore(f, StripeConfig{Width: 4, Mirrors: 0})
+	id, _, _ := s.Put(make([]byte, 4096))
+	if _, err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range f.Nodes() {
+		used, _, _ := f.NodeUsage(n)
+		if used != 0 {
+			t.Errorf("%s still holds %d bytes", n, used)
+		}
+	}
+	if _, _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted object must be gone")
+	}
+}
+
+func TestStripedTinyObjects(t *testing.T) {
+	// Objects smaller than the stripe width still round-trip.
+	f := fabricWithNodes(t, 4, 1<<20)
+	s, _ := NewStripedStore(f, StripeConfig{Width: 4})
+	for _, n := range []int{1, 2, 3, 5} {
+		data := bytes.Repeat([]byte{byte(n)}, n)
+		id, _, err := s.Put(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, _, err := s.Get(id)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("n=%d round trip: %q %v", n, got, err)
+		}
+	}
+}
+
+// Property: random payloads round-trip across widths and mirror counts.
+func TestStripedRoundtripProperty(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(4)
+		mirrors := rng.Intn(2)
+		f := fabricWithNodes(t, width*(1+mirrors)+1, 1<<20)
+		s, err := NewStripedStore(f, StripeConfig{Width: width, Mirrors: mirrors})
+		if err != nil {
+			return false
+		}
+		data := make([]byte, 1+rng.Intn(20000))
+		rng.Read(data)
+		id, _, err := s.Put(data)
+		if err != nil {
+			return false
+		}
+		got, _, err := s.Get(id)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStripedPut(b *testing.B) {
+	f := fabricWithNodes(b, 8, 1<<34)
+	s, err := NewStripedStore(f, StripeConfig{Width: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Put(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package placement implements the runtime's data-placement optimizer —
+// the component that answers §2.2's challenge (1): the "optimal" memory
+// device depends on the compute device executing the task and on the type
+// of accesses it performs. Requirements act as hard filters; among the
+// matching devices, a cost model built on topology-adjusted capabilities
+// picks the best one.
+//
+// The package also ships the baselines the paper's motivation cites:
+// a naive first-match policy, a static class→device table (the
+// "traditional" explicit placement that ignores the compute device), and a
+// seeded random policy. The claim-placement bench contrasts them.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/props"
+	"repro/internal/topology"
+)
+
+// ErrNoCandidate is returned when no device passes the hard constraints.
+var ErrNoCandidate = errors.New("placement: no device satisfies the request")
+
+// Decision records one placement for reports and tests.
+type Decision struct {
+	Compute string
+	Device  string
+	Score   float64
+	Req     props.Requirements
+}
+
+// BestFit is the cost-model optimizer: among devices whose topology-adjusted
+// capabilities match the request's hard constraints, pick the one maximizing
+// props.Score (low latency, high bandwidth, confidentiality locality, and
+// premium-capacity conservation). Deterministic: ties break on device order.
+type BestFit struct {
+	Topo *topology.Topology
+
+	mu        sync.Mutex
+	decisions []Decision
+}
+
+// NewBestFit builds the optimizer.
+func NewBestFit(topo *topology.Topology) *BestFit {
+	return &BestFit{Topo: topo}
+}
+
+// Name implements region.Placer.
+func (b *BestFit) Name() string { return "best-fit" }
+
+// Place implements region.Placer.
+func (b *BestFit) Place(req props.Requirements, computeID string) (string, error) {
+	return b.placeAt(req, computeID, 0, false)
+}
+
+// PlaceAt implements region.PlacerAt: the request's virtual time lets the
+// optimizer see how far each device's service queue is backed up *right
+// now* and steer hot allocations away from contended devices — the
+// utilization awareness §3's challenges 1-3 require of the RTS.
+func (b *BestFit) PlaceAt(req props.Requirements, computeID string, now time.Duration) (string, error) {
+	return b.placeAt(req, computeID, now, true)
+}
+
+// backlogPenalty converts a device's queue backlog (relative to the
+// requester's clock) into score points: one point per 100µs of backlog,
+// capped at 8 so hard constraints and large latency-class gaps still win.
+func backlogPenalty(busyUntil, now time.Duration) float64 {
+	backlog := busyUntil - now
+	if backlog <= 0 {
+		return 0
+	}
+	p := float64(backlog) / float64(100*time.Microsecond)
+	if p > 8 {
+		p = 8
+	}
+	return p
+}
+
+func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Duration, contentionAware bool) (string, error) {
+	best, bestScore := "", 0.0
+	for _, dev := range b.Topo.Memories() {
+		if dev.HardwareManaged {
+			continue
+		}
+		caps, ok := b.Topo.EffectiveCaps(computeID, dev.ID)
+		if !ok {
+			continue
+		}
+		if ok, _ := req.Match(caps); !ok {
+			continue
+		}
+		s := req.Score(caps)
+		if contentionAware {
+			s -= backlogPenalty(dev.Stats().BusyUntil, now)
+		}
+		if best == "" || s > bestScore {
+			best, bestScore = dev.ID, s
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: %s from %s", ErrNoCandidate, req, computeID)
+	}
+	b.mu.Lock()
+	b.decisions = append(b.decisions, Decision{Compute: computeID, Device: best, Score: bestScore, Req: req})
+	b.mu.Unlock()
+	return best, nil
+}
+
+// Decisions returns a copy of the decision log.
+func (b *BestFit) Decisions() []Decision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Decision, len(b.decisions))
+	copy(out, b.decisions)
+	return out
+}
+
+// PlaceShared finds the best device addressable — and matching — from
+// *every* listed compute device (§2.2 challenge (2): shared memory must be
+// addressable by all sharing tasks). The score is the worst-case score
+// across the computes, so no sharer is starved.
+func (b *BestFit) PlaceShared(req props.Requirements, computeIDs []string) (string, error) {
+	if len(computeIDs) == 0 {
+		return "", fmt.Errorf("%w: no compute devices given", ErrNoCandidate)
+	}
+	best, bestScore := "", 0.0
+	for _, dev := range b.Topo.Memories() {
+		if dev.HardwareManaged {
+			continue
+		}
+		worst := 0.0
+		ok := true
+		for i, c := range computeIDs {
+			caps, reachable := b.Topo.EffectiveCaps(c, dev.ID)
+			if !reachable {
+				ok = false
+				break
+			}
+			if m, _ := req.Match(caps); !m {
+				ok = false
+				break
+			}
+			s := req.Score(caps)
+			if i == 0 || s < worst {
+				worst = s
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == "" || worst > bestScore {
+			best, bestScore = dev.ID, worst
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: %s from %v", ErrNoCandidate, req, computeIDs)
+	}
+	return best, nil
+}
+
+// Static is the traditional explicit-placement baseline: a fixed preference
+// order of device IDs per request "shape", chosen once by a developer for
+// the CPU and applied no matter which compute device asks — exactly the
+// pattern Figure 3 shows failing for GPUs.
+type Static struct {
+	Topo *topology.Topology
+	// Order is the developer's hardcoded device preference list.
+	Order []string
+}
+
+// NewStatic builds the baseline with the given device preference order.
+func NewStatic(topo *topology.Topology, order []string) *Static {
+	return &Static{Topo: topo, Order: order}
+}
+
+// Name implements region.Placer.
+func (s *Static) Name() string { return "static" }
+
+// Place implements region.Placer: first device in the hardcoded order that
+// satisfies the hard constraints, regardless of the compute device's view.
+func (s *Static) Place(req props.Requirements, computeID string) (string, error) {
+	for _, id := range s.Order {
+		dev, known := s.Topo.Memory(id)
+		if !known || dev.HardwareManaged {
+			continue
+		}
+		caps, ok := s.Topo.EffectiveCaps(computeID, id)
+		if !ok {
+			continue
+		}
+		if ok, _ := req.Match(caps); ok {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("%w: static order exhausted for %s from %s", ErrNoCandidate, req, computeID)
+}
+
+// Random places uniformly among matching devices — the lower bound any
+// cost model must beat. Seeded for reproducibility.
+type Random struct {
+	Topo *topology.Topology
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom builds the baseline.
+func NewRandom(topo *topology.Topology, seed int64) *Random {
+	return &Random{Topo: topo, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements region.Placer.
+func (r *Random) Name() string { return "random" }
+
+// Place implements region.Placer.
+func (r *Random) Place(req props.Requirements, computeID string) (string, error) {
+	var candidates []string
+	for _, dev := range r.Topo.Memories() {
+		if dev.HardwareManaged {
+			continue
+		}
+		caps, ok := r.Topo.EffectiveCaps(computeID, dev.ID)
+		if !ok {
+			continue
+		}
+		if ok, _ := req.Match(caps); ok {
+			candidates = append(candidates, dev.ID)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", fmt.Errorf("%w: %s from %s", ErrNoCandidate, req, computeID)
+	}
+	sort.Strings(candidates)
+	r.mu.Lock()
+	pick := candidates[r.rng.Intn(len(candidates))]
+	r.mu.Unlock()
+	return pick, nil
+}
+
+// Worst inverts the optimizer: among matching devices it picks the lowest
+// score. It bounds how bad "legal but thoughtless" placement can get — the
+// ~3× penalty the intro cites from Mosaic [59].
+type Worst struct {
+	Topo *topology.Topology
+}
+
+// NewWorst builds the adversarial baseline.
+func NewWorst(topo *topology.Topology) *Worst { return &Worst{Topo: topo} }
+
+// Name implements region.Placer.
+func (w *Worst) Name() string { return "worst-fit" }
+
+// Place implements region.Placer.
+func (w *Worst) Place(req props.Requirements, computeID string) (string, error) {
+	best, bestScore, found := "", 0.0, false
+	for _, dev := range w.Topo.Memories() {
+		if dev.HardwareManaged {
+			continue
+		}
+		caps, ok := w.Topo.EffectiveCaps(computeID, dev.ID)
+		if !ok {
+			continue
+		}
+		if ok, _ := req.Match(caps); !ok {
+			continue
+		}
+		s := req.Score(caps)
+		if !found || s < bestScore {
+			best, bestScore, found = dev.ID, s, true
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("%w: %s from %s", ErrNoCandidate, req, computeID)
+	}
+	return best, nil
+}

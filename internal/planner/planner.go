@@ -1,0 +1,232 @@
+// Package planner compiles declarative access descriptions into concrete
+// access plans — the paper's challenge 7: rather than forcing programmers
+// to write "different versions of code targeting different memory types",
+// a compilation service turns a declarative description of the intended
+// accesses (how many bytes, what chunking, how much computation overlaps)
+// into the imperative choice the hardware wants: synchronous loads for near
+// memory, an asynchronous pipeline of the right depth for far memory.
+//
+// The compiler is a cost model over the same device/topology simulator the
+// runtime uses, so its estimates are exact for the simulated hardware; an
+// Executor then runs the plan against a real region handle.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/region"
+	"repro/internal/topology"
+)
+
+// AccessSpec is the declarative description of an intended access sequence.
+type AccessSpec struct {
+	TotalBytes int64          // bytes the task will touch
+	ChunkBytes int64          // bytes per logical access (e.g. one record batch)
+	Pattern    memsim.Pattern // sequential or random
+	Write      bool
+	// OverlapOpsPerChunk is the computation (scalar ops) the task performs
+	// per chunk, available to hide access latency behind.
+	OverlapOpsPerChunk float64
+}
+
+// Validate reports malformed specs.
+func (s AccessSpec) Validate() error {
+	if s.TotalBytes <= 0 || s.ChunkBytes <= 0 {
+		return errors.New("planner: total and chunk bytes must be positive")
+	}
+	if s.ChunkBytes > s.TotalBytes {
+		return errors.New("planner: chunk larger than total")
+	}
+	if s.OverlapOpsPerChunk < 0 {
+		return errors.New("planner: negative overlap")
+	}
+	return nil
+}
+
+// Chunks returns the number of accesses the spec describes.
+func (s AccessSpec) Chunks() int {
+	return int((s.TotalBytes + s.ChunkBytes - 1) / s.ChunkBytes)
+}
+
+// Plan is the compiled access strategy.
+type Plan struct {
+	// Async selects the asynchronous interface; false means blocking
+	// loads/stores (only legal on sync-capable placements).
+	Async bool
+	// Depth is the number of in-flight requests the pipeline keeps.
+	Depth int
+	// Estimated is the cost model's predicted completion time.
+	Estimated time.Duration
+	// Device the plan was compiled against (plans are placement-specific,
+	// which is the whole point).
+	Device string
+}
+
+// String renders the plan.
+func (p Plan) String() string {
+	mode := "sync"
+	if p.Async {
+		mode = fmt.Sprintf("async(depth=%d)", p.Depth)
+	}
+	return fmt.Sprintf("%s on %s, est. %v", mode, p.Device, p.Estimated)
+}
+
+// candidateDepths are the pipeline depths the compiler considers.
+var candidateDepths = []int{1, 2, 4, 8, 16, 32}
+
+// estimate predicts the completion time of the spec against (compute,
+// device) with the given pipeline depth, replaying the exact queue
+// semantics of the simulator: request i is issued when request i-depth
+// completes and the caller has finished its overlap computation.
+func estimate(topo *topology.Topology, computeID, deviceID string, spec AccessSpec, depth int, gops float64) (time.Duration, error) {
+	dev, ok := topo.Memory(deviceID)
+	if !ok {
+		return 0, fmt.Errorf("planner: unknown device %s", deviceID)
+	}
+	path, ok := topo.Path(computeID, deviceID)
+	if !ok {
+		return 0, fmt.Errorf("planner: %s cannot reach %s", computeID, deviceID)
+	}
+	kind := memsim.Read
+	if spec.Write {
+		kind = memsim.Write
+	}
+	svc := dev.ServiceTime(spec.ChunkBytes, kind, spec.Pattern)
+	// Path bandwidth stretch, mirroring Topology.AccessTime.
+	if path.Bandwidth < dev.Bandwidth {
+		extra := time.Duration(float64(spec.ChunkBytes)/path.Bandwidth*float64(time.Second)) -
+			time.Duration(float64(spec.ChunkBytes)/dev.Bandwidth*float64(time.Second))
+		if extra > 0 {
+			svc += extra
+		}
+	}
+	compute := time.Duration(spec.OverlapOpsPerChunk / (gops * 1e9) * float64(time.Second))
+	chunks := spec.Chunks()
+
+	// Replay the simulator's queue semantics: the caller keeps up to
+	// `depth` requests in flight; before issuing request i it awaits
+	// request i-depth and runs that chunk's computation. Every chunk's
+	// computation happens exactly once, after its await.
+	completions := make([]time.Duration, chunks)
+	var deviceFree, caller time.Duration
+	await := func(i int) {
+		if completions[i] > caller {
+			caller = completions[i]
+		}
+		caller += compute
+	}
+	for i := 0; i < chunks; i++ {
+		if i >= depth {
+			await(i - depth)
+		}
+		arrive := caller + path.Latency
+		if deviceFree > arrive {
+			arrive = deviceFree
+		}
+		done := arrive + svc
+		deviceFree = done
+		completions[i] = done + path.Latency
+	}
+	for i := chunks - depth; i < chunks; i++ {
+		if i >= 0 {
+			await(i)
+		}
+	}
+	return caller, nil
+}
+
+// Compile picks the best interface and pipeline depth for the spec against
+// the region's current placement, as seen from computeID.
+func Compile(topo *topology.Topology, computeID, deviceID string, spec AccessSpec) (Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return Plan{}, err
+	}
+	comp, ok := topo.Compute(computeID)
+	if !ok {
+		return Plan{}, fmt.Errorf("planner: unknown compute %s", computeID)
+	}
+	caps, ok := topo.EffectiveCaps(computeID, deviceID)
+	if !ok {
+		return Plan{}, fmt.Errorf("planner: %s cannot reach %s", computeID, deviceID)
+	}
+	best := Plan{Device: deviceID}
+	for _, d := range candidateDepths {
+		est, err := estimate(topo, computeID, deviceID, spec, d, comp.Gops)
+		if err != nil {
+			return Plan{}, err
+		}
+		if best.Depth == 0 || est < best.Estimated {
+			best.Depth = d
+			best.Estimated = est
+		}
+	}
+	// Sync only when the device supports it and one-deep won.
+	best.Async = best.Depth > 1 || !caps.Sync
+	return best, nil
+}
+
+// Execute runs a compiled plan against a region handle starting at virtual
+// time now, invoking process on each chunk's bytes in order, and returns
+// the completion time. The handle's placement must match the plan's device.
+func Execute(h *region.Handle, now time.Duration, plan Plan, spec AccessSpec,
+	process func(chunk int, data []byte) error) (time.Duration, error) {
+	if err := spec.Validate(); err != nil {
+		return now, err
+	}
+	if dev, err := h.DeviceID(); err != nil {
+		return now, err
+	} else if dev != plan.Device {
+		return now, fmt.Errorf("planner: plan compiled for %s but region lives on %s", plan.Device, dev)
+	}
+	chunks := spec.Chunks()
+	type inflight struct {
+		fut *region.Future
+		buf []byte
+		idx int
+	}
+	var window []inflight
+	issue := func(i int) inflight {
+		off := int64(i) * spec.ChunkBytes
+		n := spec.ChunkBytes
+		if off+n > spec.TotalBytes {
+			n = spec.TotalBytes - off
+		}
+		buf := make([]byte, n)
+		return inflight{fut: h.ReadAsync(now, off, buf), buf: buf, idx: i}
+	}
+	drain := func(f inflight) error {
+		done, err := f.fut.Await(now)
+		if err != nil {
+			return err
+		}
+		now = done
+		if process != nil {
+			if err := process(f.idx, f.buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	depth := plan.Depth
+	if !plan.Async {
+		depth = 1
+	}
+	for i := 0; i < chunks; i++ {
+		window = append(window, issue(i))
+		if len(window) >= depth {
+			if err := drain(window[0]); err != nil {
+				return now, err
+			}
+			window = window[1:]
+		}
+	}
+	for _, f := range window {
+		if err := drain(f); err != nil {
+			return now, err
+		}
+	}
+	return now, nil
+}

@@ -1,0 +1,94 @@
+package props
+
+// RegionClass names the pre-defined Memory Regions of the programming model
+// (paper Table 2). Each class is a named bundle of properties that dataflow
+// systems use over and over; applications may also declare Custom regions
+// with bespoke Requirements.
+type RegionClass uint8
+
+const (
+	// Custom regions carry caller-supplied Requirements.
+	Custom RegionClass = iota
+	// PrivateScratch is thread-local working memory: {noncoherent, sync}.
+	// It holds intermediate results that are not part of the task's output
+	// and is neither shared nor transferable.
+	PrivateScratch
+	// GlobalState is application-global synchronization memory:
+	// {coherent, sync}. Latches, worker states, job metadata.
+	GlobalState
+	// GlobalScratch passes data between unconnected tasks:
+	// {coherent, async}. Caches, transient indexes, blob storage.
+	GlobalScratch
+	// Transfer regions carry a task's output to the next task's input
+	// (Fig. 4). Exclusively owned, handed over by ownership transfer.
+	Transfer
+)
+
+// String returns the paper's name for the region class.
+func (c RegionClass) String() string {
+	switch c {
+	case Custom:
+		return "Custom"
+	case PrivateScratch:
+		return "Private Scratch"
+	case GlobalState:
+		return "Global State"
+	case GlobalScratch:
+		return "Global Scratch"
+	case Transfer:
+		return "Transfer"
+	default:
+		return "RegionClass(?)"
+	}
+}
+
+// Defaults returns the property bundle the programming model pre-defines for
+// the class (Table 2). Callers refine the result (capacity, persistence,
+// confidentiality) before allocating.
+func (c RegionClass) Defaults() Requirements {
+	switch c {
+	case PrivateScratch:
+		return Requirements{
+			Latency:     LatencyLow,
+			Coherent:    Any, // "may have relaxed coherence guarantees"
+			Sync:        Require,
+			ByteAddr:    Require,
+			PreferLocal: true,
+		}
+	case GlobalState:
+		return Requirements{
+			Latency:  LatencyMedium, // "expected to be slow as it has to be accessible from all compute devices"
+			Coherent: Require,
+			Sync:     Require,
+			ByteAddr: Require,
+		}
+	case GlobalScratch:
+		return Requirements{
+			Latency:  LatencyHigh, // async interface tolerates far memory
+			Coherent: Require,
+			Sync:     Any, // accessed asynchronously; sync capability unneeded
+			ByteAddr: Any,
+		}
+	case Transfer:
+		return Requirements{
+			Latency:     LatencyMedium,
+			Sync:        Any,
+			ByteAddr:    Require,
+			PreferLocal: true,
+		}
+	default:
+		return Requirements{}
+	}
+}
+
+// Shareable reports whether regions of this class may have more than one
+// owner. Private Scratch is visible to exactly one thread of execution.
+func (c RegionClass) Shareable() bool {
+	return c == GlobalState || c == GlobalScratch
+}
+
+// Transferable reports whether exclusive ownership of regions of this class
+// may move between tasks (Fig. 4's out→in handover).
+func (c RegionClass) Transferable() bool {
+	return c == Transfer || c == Custom || c == GlobalScratch
+}

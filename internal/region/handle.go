@@ -1,0 +1,392 @@
+package region
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/memsim"
+	"repro/internal/props"
+	"repro/internal/telemetry"
+)
+
+// Handle is a capability to a region held by one owner. Handles implement
+// the move semantics of Fig. 4: Transfer invalidates the source handle (the
+// generation counter bumps), so use-after-move is a runtime error instead of
+// silent aliasing — the closest a GC language gets to C++ moves (challenge 6).
+//
+// All access methods take and return *virtual* time: `now` is the caller's
+// task-local clock, the returned value is the access completion time.
+type Handle struct {
+	m       *Manager
+	id      ID
+	gen     uint64
+	owner   Owner
+	compute string
+}
+
+// ID returns the region id.
+func (h *Handle) ID() ID { return h.id }
+
+// Owner returns the owning task.
+func (h *Handle) Owner() Owner { return h.owner }
+
+// Size returns the region's logical size in bytes.
+func (h *Handle) Size() (int64, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return 0, err
+	}
+	return r.size, nil
+}
+
+// DeviceID returns the physical device the region is placed on — how tests
+// and reports observe the runtime's mapping decision (Fig. 3).
+func (h *Handle) DeviceID() (string, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return "", err
+	}
+	return r.device.ID, nil
+}
+
+// Class returns the region class.
+func (h *Handle) Class() (props.RegionClass, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return props.Custom, err
+	}
+	return r.class, nil
+}
+
+// Sealed reports whether the region is encrypted at rest.
+func (h *Handle) Sealed() (bool, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return false, err
+	}
+	return r.sealed, nil
+}
+
+// checkRange validates [off, off+n) against the region.
+func checkRange(r *Region, off, n int64) error {
+	if off < 0 || n < 0 || off+n > r.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfBounds, off, off+n, r.size)
+	}
+	return nil
+}
+
+// coherenceCost runs the directory protocol for the touched lines of a
+// shared region and prices the actions. Caller holds m.mu.
+func (m *Manager) coherenceCost(r *Region, computeID string, off, n int64, write bool) time.Duration {
+	if len(r.owners) <= 1 || r.req.Coherent != props.Require {
+		return 0 // exclusive ownership needs no protocol (§2.2)
+	}
+	caps, ok := m.topo.EffectiveCaps(computeID, r.device.ID)
+	if !ok {
+		return 0
+	}
+	const lineSize = 64
+	first := off / lineSize
+	last := (off + n - 1) / lineSize
+	var acts coherence.Actions
+	for l := first; l <= last; l++ {
+		id := coherence.LineID{Region: uint64(r.id), Line: uint64(l)}
+		if write {
+			acts.Add(m.dir.Write(computeID, id))
+		} else {
+			acts.Add(m.dir.Read(computeID, id))
+		}
+	}
+	m.reg.Add(telemetry.LayerCoherence, "invalidations", int64(acts.Invalidations))
+	m.reg.Add(telemetry.LayerCoherence, "writebacks", int64(acts.Writebacks))
+	m.reg.Add(telemetry.LayerCoherence, "fetches", int64(acts.Fetches))
+	// Each protocol action costs one traversal to the region's home device.
+	return time.Duration(acts.Total()) * caps.Latency
+}
+
+// access is the common sync data path. It moves real bytes between the
+// region backing and the caller's buffer and returns the virtual completion
+// time.
+func (h *Handle) access(now time.Duration, off int64, buf []byte, write bool, pat memsim.Pattern) (time.Duration, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return now, err
+	}
+	n := int64(len(buf))
+	if err := checkRange(r, off, n); err != nil {
+		return now, err
+	}
+	r.heat++
+	kind := memsim.Read
+	if write {
+		kind = memsim.Write
+	}
+	done, err := h.m.topo.AccessTime(h.compute, r.device.ID, now, n, kind, pat)
+	if err != nil {
+		return now, err
+	}
+	done += h.m.coherenceCost(r, h.compute, off, n, write)
+	if write {
+		if r.sealed {
+			sealRange(h.m.secret, r.id, r.data, off, buf)
+		} else {
+			copy(r.data[off:], buf)
+		}
+		h.m.reg.Add(telemetry.LayerRegion, "bytes_written", n)
+	} else {
+		if r.sealed {
+			unsealRange(h.m.secret, r.id, r.data, off, buf)
+		} else {
+			copy(buf, r.data[off:])
+		}
+		h.m.reg.Add(telemetry.LayerRegion, "bytes_read", n)
+	}
+	return done, nil
+}
+
+// ReadAt synchronously reads len(buf) bytes at off. It fails on devices
+// that only expose an asynchronous interface (Table 1's Sync column) —
+// callers must use ReadAsync there, the point of §2.2(3).
+func (h *Handle) ReadAt(now time.Duration, off int64, buf []byte) (time.Duration, error) {
+	if err := h.requireSync(); err != nil {
+		return now, err
+	}
+	return h.access(now, off, buf, false, memsim.Sequential)
+}
+
+// WriteAt synchronously writes buf at off.
+func (h *Handle) WriteAt(now time.Duration, off int64, buf []byte) (time.Duration, error) {
+	if err := h.requireSync(); err != nil {
+		return now, err
+	}
+	return h.access(now, off, buf, true, memsim.Sequential)
+}
+
+// ReadAtRandom is ReadAt with a random-access cost profile (per-granule
+// latency), for pointer-chasing workloads.
+func (h *Handle) ReadAtRandom(now time.Duration, off int64, buf []byte) (time.Duration, error) {
+	if err := h.requireSync(); err != nil {
+		return now, err
+	}
+	return h.access(now, off, buf, false, memsim.Random)
+}
+
+func (h *Handle) requireSync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return err
+	}
+	caps, ok := h.m.topo.EffectiveCaps(h.compute, r.device.ID)
+	if !ok || !caps.Sync {
+		return fmt.Errorf("%w: %s from %s", ErrSyncFarAccess, r.device.ID, h.compute)
+	}
+	return nil
+}
+
+// Future is an in-flight asynchronous access (§2.2(3): far memory should be
+// fetched in the background while the task computes).
+type Future struct {
+	done time.Duration
+	err  error
+}
+
+// Await returns the virtual time at which the caller, currently at now,
+// observes completion: max(now, completion). Computation performed between
+// issue and Await is thereby overlapped with the transfer.
+func (f *Future) Await(now time.Duration) (time.Duration, error) {
+	if f.err != nil {
+		return now, f.err
+	}
+	if f.done > now {
+		return f.done, nil
+	}
+	return now, nil
+}
+
+// ReadAsync issues a background read and returns immediately; the returned
+// Future completes at the device's virtual completion time.
+func (h *Handle) ReadAsync(now time.Duration, off int64, buf []byte) *Future {
+	done, err := h.access(now, off, buf, false, memsim.Sequential)
+	return &Future{done: done, err: err}
+}
+
+// WriteAsync issues a background write.
+func (h *Handle) WriteAsync(now time.Duration, off int64, buf []byte) *Future {
+	done, err := h.access(now, off, buf, true, memsim.Sequential)
+	return &Future{done: done, err: err}
+}
+
+// Transfer moves exclusive ownership to the next task (Fig. 4's
+// "out becomes the new in"). If the receiving compute device can address
+// the region's current device within the region's requirements, the
+// transfer is pure bookkeeping — zero bytes move. Otherwise the runtime
+// migrates the region to a device suitable for the receiver and pays the
+// copy. The source handle is invalidated either way.
+func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handle, time.Duration, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return nil, now, err
+	}
+	if !r.class.Transferable() {
+		return nil, now, fmt.Errorf("%w: %s", ErrNotMovable, r.class)
+	}
+	if len(r.owners) != 1 {
+		return nil, now, fmt.Errorf("%w: %d owners", ErrExclusive, len(r.owners))
+	}
+	if _, ok := h.m.topo.Compute(toCompute); !ok {
+		return nil, now, fmt.Errorf("region: unknown compute device %q", toCompute)
+	}
+	caps, addressable := h.m.topo.EffectiveCaps(toCompute, r.device.ID)
+	zeroCopy := false
+	if addressable {
+		// The region already owns its space on the device, so the free-
+		// capacity constraint does not apply to staying put.
+		req := r.req
+		req.Capacity = 0
+		if ok, _ := req.Match(caps); ok {
+			zeroCopy = true
+		}
+	}
+	r.gen++ // invalidate the source handle (move semantics)
+	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute}
+	delete(r.owners, h.owner)
+	r.owners[to] = toCompute
+	if zeroCopy {
+		h.m.reg.Add(telemetry.LayerRegion, "transfers_zero_copy", 1)
+		return nh, now, nil
+	}
+	// Migration: re-place for the receiver and copy through the fabric.
+	done, err := h.m.migrateLocked(r, toCompute, now)
+	if err != nil {
+		// Roll the ownership move back so the caller still owns the data.
+		r.gen++
+		delete(r.owners, to)
+		r.owners[h.owner] = h.compute
+		h.gen = r.gen
+		return nil, now, err
+	}
+	nh.gen = r.gen
+	h.m.reg.Add(telemetry.LayerRegion, "transfers_migrated", 1)
+	return nh, done, nil
+}
+
+// migrateLocked moves a region to a device matching its requirements from
+// computeID, paying read+write virtual time. Caller holds m.mu.
+func (m *Manager) migrateLocked(r *Region, computeID string, now time.Duration) (time.Duration, error) {
+	devID, err := m.placer.Place(r.req, computeID)
+	if err != nil {
+		return now, fmt.Errorf("%w: migration: %v", ErrNoPlacement, err)
+	}
+	return m.migrateToLocked(r, computeID, devID, now)
+}
+
+// migrateToLocked moves a region to the named device. Caller holds m.mu.
+func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.Duration) (time.Duration, error) {
+	dst, ok := m.topo.Memory(devID)
+	if !ok {
+		return now, fmt.Errorf("region: placer chose unknown device %q", devID)
+	}
+	if dst.ID == r.device.ID {
+		return now, nil
+	}
+	buddy, err := m.buddyFor(dst)
+	if err != nil {
+		return now, err
+	}
+	off, err := buddy.Alloc(r.size)
+	if err != nil {
+		return now, err
+	}
+	if err := dst.Reserve(r.blockSize); err != nil {
+		buddy.Free(off) //nolint:errcheck // offset came from this buddy
+		return now, err
+	}
+	// Price the copy: read from the old home, write to the new one.
+	rd, err := m.topo.AccessTime(computeID, r.device.ID, now, r.size, memsim.Read, memsim.Sequential)
+	if err != nil {
+		rd = now // old home may be unreachable from the new compute; charge only the write
+	}
+	wr, err := m.topo.AccessTime(computeID, dst.ID, rd, r.size, memsim.Write, memsim.Sequential)
+	if err != nil {
+		return now, err
+	}
+	// Release the old placement.
+	if b, ok := m.buddies[r.device.ID]; ok {
+		b.Free(r.offset) //nolint:errcheck // offset tracked by the manager
+	}
+	r.device.Release(r.blockSize)
+	m.dir.DropRegion(uint64(r.id))
+	r.device = dst
+	r.offset = off
+	// Crossing the on-/off-node boundary changes the at-rest encryption
+	// obligation of confidential regions; toggle the sealing of the whole
+	// backing (seal and unseal are the same XOR keystream).
+	if caps, ok := m.topo.EffectiveCaps(computeID, dst.ID); ok {
+		newSealed := r.req.Confidential && caps.Remote
+		if newSealed != r.sealed {
+			keystreamAt(m.secret, r.id, 0, r.data)
+			r.sealed = newSealed
+		}
+	}
+	m.reg.Add(telemetry.LayerRegion, "migrations", 1)
+	m.reg.Add(telemetry.LayerRegion, "bytes_migrated", r.size)
+	return wr, nil
+}
+
+// Share grants an additional concurrent owner (shared ownership, §2.2).
+// The region class must allow sharing; Private Scratch never does.
+func (h *Handle) Share(to Owner, toCompute string) (*Handle, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return nil, err
+	}
+	if !r.class.Shareable() {
+		return nil, fmt.Errorf("%w: %s", ErrNotShareable, r.class)
+	}
+	if _, ok := h.m.topo.Compute(toCompute); !ok {
+		return nil, fmt.Errorf("region: unknown compute device %q", toCompute)
+	}
+	if !h.m.topo.Addressable(toCompute, r.device.ID) {
+		return nil, fmt.Errorf("region: %s cannot address %s", toCompute, r.device.ID)
+	}
+	if _, dup := r.owners[to]; dup {
+		return nil, fmt.Errorf("region: %s already owns region %d", to, r.id)
+	}
+	r.owners[to] = toCompute
+	h.m.reg.Add(telemetry.LayerRegion, "shares", 1)
+	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute}, nil
+}
+
+// Release drops this owner's claim; the region is freed when the last owner
+// releases it — RTS duty (3) of §2.3, replacing garbage collection with
+// ownership-tracked lifetimes (Broom [25]).
+func (h *Handle) Release() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		return err
+	}
+	delete(r.owners, h.owner)
+	if len(r.owners) == 0 {
+		h.m.free(r)
+	}
+	return nil
+}

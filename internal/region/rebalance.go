@@ -1,0 +1,243 @@
+package region
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file implements background memory tiering — the "reusable optimizer
+// for various dataflow systems' data placement" the paper's §2.1 derives
+// from ownership, in the spirit of TPP [40] and AIFM [48]: the runtime
+// tracks per-region access heat and periodically (a) relieves pressure on
+// over-full devices by demoting their coldest regions and (b) promotes hot
+// regions whose current placement scores clearly worse than the best
+// device currently available.
+//
+// Rebalancing is only possible *because* regions carry their requirements:
+// any destination must still satisfy the region's declared properties, so
+// tiering can never violate what the application asked for.
+
+// RebalancePolicy tunes the tiering pass.
+type RebalancePolicy struct {
+	// HighWatermark triggers demotion when a device's utilization exceeds
+	// it. Default 0.90.
+	HighWatermark float64
+	// LowWatermark is the demotion target. Default 0.70.
+	LowWatermark float64
+	// PromoteHeat is the minimum epoch access count for promotion
+	// candidates. Default 8.
+	PromoteHeat uint64
+	// ScoreMargin is how much better (in props.Score units) a destination
+	// must be to justify moving a hot region. Default 2.
+	ScoreMargin float64
+}
+
+func (p RebalancePolicy) withDefaults() RebalancePolicy {
+	if p.HighWatermark <= 0 {
+		p.HighWatermark = 0.90
+	}
+	if p.LowWatermark <= 0 {
+		p.LowWatermark = 0.70
+	}
+	if p.PromoteHeat == 0 {
+		p.PromoteHeat = 8
+	}
+	if p.ScoreMargin == 0 {
+		p.ScoreMargin = 2
+	}
+	return p
+}
+
+// RebalanceStats reports what a tiering pass did.
+type RebalanceStats struct {
+	Promoted   int
+	Demoted    int
+	BytesMoved int64
+	// Cost is the virtual time the migrations took (background work; the
+	// caller decides whether to overlap or serialize it).
+	Cost time.Duration
+}
+
+// ownerCompute returns a deterministic representative compute device among
+// a region's owners. Caller holds m.mu.
+func ownerCompute(r *Region) string {
+	best := ""
+	for _, c := range r.owners {
+		if best == "" || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// addressableByAllOwners reports whether every owner's compute device can
+// reach dev within the region's requirements. Caller holds m.mu.
+func (m *Manager) addressableByAllOwners(r *Region, dev string) bool {
+	req := r.req
+	req.Capacity = 0
+	for _, c := range r.owners {
+		caps, ok := m.topo.EffectiveCaps(c, dev)
+		if !ok {
+			return false
+		}
+		if ok, _ := req.Match(caps); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Rebalance runs one tiering epoch at virtual time now and halves every
+// region's heat afterwards (exponential decay).
+func (m *Manager) Rebalance(now time.Duration, pol RebalancePolicy) (RebalanceStats, error) {
+	pol = pol.withDefaults()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var stats RebalanceStats
+
+	// Deterministic region order: by id.
+	ids := make([]ID, 0, len(m.regions))
+	for id := range m.regions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Pass 1 — demotion: for every over-watermark device, move its coldest
+	// regions to the best *other* matching device until below the low
+	// watermark.
+	for _, dev := range m.topo.Memories() {
+		if dev.HardwareManaged {
+			continue
+		}
+		if dev.Utilization() <= pol.HighWatermark {
+			continue
+		}
+		// Coldest-first victims on this device.
+		var victims []*Region
+		for _, id := range ids {
+			r := m.regions[id]
+			if r != nil && !r.freed && r.device.ID == dev.ID {
+				victims = append(victims, r)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if victims[i].heat != victims[j].heat {
+				return victims[i].heat < victims[j].heat
+			}
+			return victims[i].id < victims[j].id
+		})
+		for _, r := range victims {
+			if dev.Utilization() <= pol.LowWatermark {
+				break
+			}
+			comp := ownerCompute(r)
+			dst, ok := m.bestOtherDevice(r, comp, dev.ID)
+			if !ok {
+				continue
+			}
+			done, err := m.migrateToLocked(r, comp, dst, now)
+			if err != nil {
+				continue // best-effort: skip unmovable regions
+			}
+			stats.Demoted++
+			stats.BytesMoved += r.size
+			if done > now {
+				stats.Cost += done - now
+			}
+		}
+	}
+
+	// Pass 2 — promotion: hot regions move when a clearly better device
+	// has room.
+	for _, id := range ids {
+		r := m.regions[id]
+		if r == nil || r.freed || r.heat < pol.PromoteHeat {
+			continue
+		}
+		comp := ownerCompute(r)
+		curCaps, ok := m.topo.EffectiveCaps(comp, r.device.ID)
+		if !ok {
+			continue
+		}
+		req := r.req
+		req.Capacity = r.blockSize
+		best, err := m.placer.Place(req, comp)
+		if err != nil || best == r.device.ID {
+			continue
+		}
+		bestCaps, ok := m.topo.EffectiveCaps(comp, best)
+		if !ok {
+			continue
+		}
+		cmpReq := r.req
+		cmpReq.Capacity = 0
+		if cmpReq.Score(bestCaps)-cmpReq.Score(curCaps) < pol.ScoreMargin {
+			continue
+		}
+		if !m.addressableByAllOwners(r, best) {
+			continue
+		}
+		done, err := m.migrateToLocked(r, comp, best, now)
+		if err != nil {
+			continue
+		}
+		stats.Promoted++
+		stats.BytesMoved += r.size
+		if done > now {
+			stats.Cost += done - now
+		}
+	}
+
+	// Decay heat.
+	for _, id := range ids {
+		if r := m.regions[id]; r != nil {
+			r.heat >>= 1
+		}
+	}
+	m.reg.Add(telemetry.LayerPlacement, "rebalance_promotions", int64(stats.Promoted))
+	m.reg.Add(telemetry.LayerPlacement, "rebalance_demotions", int64(stats.Demoted))
+	return stats, nil
+}
+
+// bestOtherDevice finds the highest-scoring device other than exclude that
+// satisfies the region's requirements from comp and is addressable by all
+// owners. Caller holds m.mu.
+func (m *Manager) bestOtherDevice(r *Region, comp, exclude string) (string, bool) {
+	req := r.req
+	req.Capacity = r.blockSize
+	best, bestScore := "", 0.0
+	for _, dev := range m.topo.Memories() {
+		if dev.ID == exclude || dev.HardwareManaged {
+			continue
+		}
+		caps, ok := m.topo.EffectiveCaps(comp, dev.ID)
+		if !ok {
+			continue
+		}
+		if ok, _ := req.Match(caps); !ok {
+			continue
+		}
+		if !m.addressableByAllOwners(r, dev.ID) {
+			continue
+		}
+		s := req.Score(caps)
+		if best == "" || s > bestScore {
+			best, bestScore = dev.ID, s
+		}
+	}
+	return best, best != ""
+}
+
+// Heat returns a region's current epoch access count (tests, reports).
+func (m *Manager) Heat(id ID) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[id]
+	if !ok || r.freed {
+		return 0, fmt.Errorf("%w: region %d", ErrFreed, id)
+	}
+	return r.heat, nil
+}

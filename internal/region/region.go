@@ -1,0 +1,332 @@
+// Package region implements the paper's central abstraction: typed Memory
+// Regions with ownership (§2.2). A region is a logical view of physical
+// memory, declared and identified by its *properties* rather than its
+// location; the Manager maps each request onto a simulated physical device
+// that satisfies those properties relative to the requesting compute device,
+// carves space out of the device with a buddy allocator, and tracks
+// ownership until the last owner releases the region.
+//
+// Ownership follows §2.2(2): a region is either exclusively owned by one
+// task — transferable to the next task like C++ move semantics (Fig. 4) —
+// or shared among concurrently running tasks, which forces coherent
+// placement and pays directory-protocol costs on every access.
+//
+// Confidential regions placed off-node are transparently encrypted at rest
+// (AES-CTR): the property travels with the region, not with the code.
+package region
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/coherence"
+	"repro/internal/memsim"
+	"repro/internal/props"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Errors reported by the region layer.
+var (
+	ErrStaleHandle   = errors.New("region: stale handle (ownership was moved)")
+	ErrFreed         = errors.New("region: region already freed")
+	ErrNotOwner      = errors.New("region: caller does not own this region")
+	ErrNotShareable  = errors.New("region: region class cannot be shared")
+	ErrNotMovable    = errors.New("region: region class cannot be transferred")
+	ErrExclusive     = errors.New("region: exclusively owned by another task")
+	ErrOutOfBounds   = errors.New("region: access out of bounds")
+	ErrNoPlacement   = errors.New("region: no device satisfies the requirements")
+	ErrSyncFarAccess = errors.New("region: synchronous access to async-only device")
+)
+
+// Owner identifies a task (or job, or application) holding a region.
+type Owner string
+
+// ID is a region identifier, unique per Manager.
+type ID uint64
+
+// Placer decides which memory device serves a request. The placement
+// package provides cost-model implementations; FirstFit below is the naive
+// baseline.
+type Placer interface {
+	// Place returns the device ID to allocate on.
+	Place(req props.Requirements, computeID string) (string, error)
+	// Name labels the policy in reports.
+	Name() string
+}
+
+// Spec describes an allocation request — the declarative ask of §2.1.
+type Spec struct {
+	Name    string            // human label ("hashtable", "bloomfilter")
+	Class   props.RegionClass // Table 2 class; Custom uses Req verbatim
+	Size    int64             // bytes
+	Req     props.Requirements
+	Owner   Owner  // initial owner
+	Compute string // compute device the owner runs on
+	// Device, when non-empty, pins the placement to a specific memory
+	// device (bypassing the placer). Used by the runtime when a shared
+	// region was already co-placed for several compute devices; the pinned
+	// device must still satisfy the merged requirements.
+	Device string
+	// Now is the requester's virtual time at allocation. Placers that
+	// implement PlaceAt use it to see device queue backlog — the
+	// "resource utilization" signal §3's challenges 1-3 ask the RTS to
+	// track. Zero is a valid time (job start).
+	Now time.Duration
+}
+
+// PlacerAt is the optional contention-aware extension of Placer: placers
+// implementing it receive the requester's virtual time and can penalize
+// devices whose service queues are backed up.
+type PlacerAt interface {
+	PlaceAt(req props.Requirements, computeID string, now time.Duration) (string, error)
+}
+
+// Region is the manager-internal state of one memory region.
+type Region struct {
+	id        ID
+	name      string
+	class     props.RegionClass
+	req       props.Requirements
+	device    *memsim.Device
+	offset    int64 // offset within the device's buddy arena
+	size      int64
+	blockSize int64
+	data      []byte // real host backing; ciphertext when sealed
+	sealed    bool   // encrypted at rest
+	gen       uint64 // bumped on ownership transfer to invalidate handles
+	owners    map[Owner]string
+	freed     bool
+	heat      uint64 // accesses since the last rebalance epoch (tiering)
+}
+
+// Manager owns all regions, per-device allocators, the coherence directory,
+// and the placement policy — RTS duties (1)–(3) of §2.3.
+type Manager struct {
+	topo   *topology.Topology
+	placer Placer
+	dir    *coherence.Directory
+	reg    *telemetry.Registry
+
+	mu      sync.Mutex
+	nextID  ID
+	regions map[ID]*Region
+	buddies map[string]*allocator.Buddy
+	secret  [32]byte // root key material for confidential regions
+}
+
+// Config assembles a Manager.
+type Config struct {
+	Topology  *topology.Topology
+	Placer    Placer               // nil → FirstFit baseline
+	Telemetry *telemetry.Registry  // nil → disabled
+	Directory *coherence.Directory // nil → fresh directory
+}
+
+// NewManager builds a region manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("region: topology required")
+	}
+	if cfg.Placer == nil {
+		cfg.Placer = FirstFit{Topo: cfg.Topology}
+	}
+	if cfg.Directory == nil {
+		cfg.Directory = coherence.NewDirectory()
+	}
+	m := &Manager{
+		topo:    cfg.Topology,
+		placer:  cfg.Placer,
+		dir:     cfg.Directory,
+		reg:     cfg.Telemetry,
+		regions: make(map[ID]*Region),
+		buddies: make(map[string]*allocator.Buddy),
+	}
+	copy(m.secret[:], "repro/disagg-region-root-key-v1!")
+	return m, nil
+}
+
+// Topology returns the hardware graph the manager places onto.
+func (m *Manager) Topology() *topology.Topology { return m.topo }
+
+// Directory exposes the coherence directory (for tests and reports).
+func (m *Manager) Directory() *coherence.Directory { return m.dir }
+
+// largestPow2 returns the largest power of two ≤ n.
+func largestPow2(n int64) int64 {
+	p := int64(1)
+	for p<<1 > 0 && p<<1 <= n {
+		p <<= 1
+	}
+	return p
+}
+
+// buddyFor lazily creates the allocator for a device. Caller holds m.mu.
+func (m *Manager) buddyFor(dev *memsim.Device) (*allocator.Buddy, error) {
+	if b, ok := m.buddies[dev.ID]; ok {
+		return b, nil
+	}
+	b, err := allocator.New(largestPow2(dev.Capacity))
+	if err != nil {
+		return nil, err
+	}
+	m.buddies[dev.ID] = b
+	return b, nil
+}
+
+// Alloc satisfies a declarative memory request: it merges the class-default
+// properties with the caller's refinements, asks the placer for a device,
+// validates the match, reserves capacity, and returns the initial owner's
+// handle.
+func (m *Manager) Alloc(spec Spec) (*Handle, error) {
+	if spec.Size <= 0 {
+		return nil, fmt.Errorf("region: size %d", spec.Size)
+	}
+	if spec.Owner == "" {
+		return nil, errors.New("region: owner required")
+	}
+	if _, ok := m.topo.Compute(spec.Compute); !ok {
+		return nil, fmt.Errorf("region: unknown compute device %q", spec.Compute)
+	}
+	req, err := props.Merge(spec.Class.Defaults(), spec.Req)
+	if err != nil {
+		return nil, err
+	}
+	req.Capacity = allocator.BlockSize(spec.Size)
+
+	devID := spec.Device
+	if devID == "" {
+		if pa, ok := m.placer.(PlacerAt); ok {
+			devID, err = pa.PlaceAt(req, spec.Compute, spec.Now)
+		} else {
+			devID, err = m.placer.Place(req, spec.Compute)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s for %s on %s: %v", ErrNoPlacement, req, spec.Name, spec.Compute, err)
+		}
+	}
+	dev, ok := m.topo.Memory(devID)
+	if !ok {
+		return nil, fmt.Errorf("region: placer chose unknown device %q", devID)
+	}
+	if dev.HardwareManaged {
+		return nil, fmt.Errorf("region: %s is hardware-managed and cannot host regions", devID)
+	}
+	caps, ok := m.topo.EffectiveCaps(spec.Compute, devID)
+	if !ok {
+		return nil, fmt.Errorf("region: %s cannot address %s", spec.Compute, devID)
+	}
+	if ok, viol := req.Match(caps); !ok {
+		return nil, fmt.Errorf("%w: placer chose %s violating %v", ErrNoPlacement, devID, viol)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buddy, err := m.buddyFor(dev)
+	if err != nil {
+		return nil, err
+	}
+	off, err := buddy.Alloc(spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	block := allocator.BlockSize(spec.Size)
+	if err := dev.Reserve(block); err != nil {
+		buddy.Free(off) //nolint:errcheck // offset came from this buddy
+		return nil, err
+	}
+	id := m.nextID
+	m.nextID++
+	r := &Region{
+		id: id, name: spec.Name, class: spec.Class, req: req,
+		device: dev, offset: off, size: spec.Size, blockSize: block,
+		data:   make([]byte, spec.Size),
+		sealed: req.Confidential && caps.Remote,
+		owners: map[Owner]string{spec.Owner: spec.Compute},
+	}
+	m.regions[id] = r
+	m.reg.Add(telemetry.LayerRegion, "allocs", 1)
+	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", block)
+	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute}, nil
+}
+
+// lookup returns the live region for a handle. Caller holds m.mu.
+func (m *Manager) lookup(h *Handle) (*Region, error) {
+	r, ok := m.regions[h.id]
+	if !ok {
+		return nil, ErrFreed
+	}
+	if r.freed {
+		return nil, ErrFreed
+	}
+	if r.gen != h.gen {
+		return nil, ErrStaleHandle
+	}
+	if _, owns := r.owners[h.owner]; !owns {
+		return nil, fmt.Errorf("%w: %s", ErrNotOwner, h.owner)
+	}
+	return r, nil
+}
+
+// free releases the region's resources. Caller holds m.mu.
+func (m *Manager) free(r *Region) {
+	r.freed = true
+	if b, ok := m.buddies[r.device.ID]; ok {
+		b.Free(r.offset) //nolint:errcheck // offset tracked by the manager
+	}
+	r.device.Release(r.blockSize)
+	m.dir.DropRegion(uint64(r.id))
+	r.data = nil
+	delete(m.regions, r.id)
+	m.reg.Add(telemetry.LayerRegion, "frees", 1)
+	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", -r.blockSize)
+}
+
+// Live returns the number of live regions (leak checks in tests).
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.regions)
+}
+
+// DeviceBytes reports allocated bytes per device ID (utilization reports).
+func (m *Manager) DeviceBytes() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64)
+	for _, r := range m.regions {
+		out[r.device.ID] += r.blockSize
+	}
+	return out
+}
+
+// FirstFit is the naive placement baseline the paper's intro warns about:
+// it scans devices in topology order and takes the first hard-constraint
+// match, ignoring latency/bandwidth quality entirely. Figure-1/claim
+// benches contrast it against the cost-model optimizer.
+type FirstFit struct {
+	Topo *topology.Topology
+}
+
+// Place implements Placer.
+func (f FirstFit) Place(req props.Requirements, computeID string) (string, error) {
+	for _, dev := range f.Topo.Memories() {
+		if dev.HardwareManaged {
+			continue
+		}
+		caps, ok := f.Topo.EffectiveCaps(computeID, dev.ID)
+		if !ok {
+			continue
+		}
+		if ok, _ := req.Match(caps); ok {
+			return dev.ID, nil
+		}
+	}
+	return "", fmt.Errorf("no matching device for %s from %s", req, computeID)
+}
+
+// Name implements Placer.
+func (f FirstFit) Name() string { return "first-fit" }

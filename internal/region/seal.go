@@ -1,0 +1,62 @@
+package region
+
+import (
+	"crypto/aes"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Confidential regions (§2.1's confidentiality property, tasks T1–T3/T5 in
+// Fig. 2) that land on remote devices are sealed: the backing stores only
+// AES-CTR ciphertext, and the data path encrypts/decrypts at the region
+// boundary. CTR mode allows random-offset access without reprocessing the
+// whole region. The per-region key is derived from the manager's root
+// secret and the region ID; the nonce is the region ID, so identical
+// plaintext in different regions yields different ciphertext.
+
+// regionKey derives the AES-128 key for a region.
+func regionKey(secret [32]byte, id ID) []byte {
+	var buf [40]byte
+	copy(buf[:32], secret[:])
+	binary.BigEndian.PutUint64(buf[32:], uint64(id))
+	sum := sha256.Sum256(buf[:])
+	return sum[:16]
+}
+
+// keystreamAt XORs data[i] with the CTR keystream byte at absolute region
+// offset off+i. Works for both seal and unseal (XOR is symmetric).
+func keystreamAt(secret [32]byte, id ID, off int64, data []byte) {
+	block, err := aes.NewCipher(regionKey(secret, id))
+	if err != nil {
+		panic("region: aes key size invariant violated: " + err.Error())
+	}
+	var ctr, ks [16]byte
+	binary.BigEndian.PutUint64(ctr[:8], uint64(id)) // nonce half
+	blockIdx := uint64(off) / 16
+	skip := int(uint64(off) % 16)
+	i := 0
+	for i < len(data) {
+		binary.BigEndian.PutUint64(ctr[8:], blockIdx)
+		block.Encrypt(ks[:], ctr[:])
+		for j := skip; j < 16 && i < len(data); j++ {
+			data[i] ^= ks[j]
+			i++
+		}
+		skip = 0
+		blockIdx++
+	}
+}
+
+// sealRange encrypts src into backing[off:].
+func sealRange(secret [32]byte, id ID, backing []byte, off int64, src []byte) {
+	tmp := make([]byte, len(src))
+	copy(tmp, src)
+	keystreamAt(secret, id, off, tmp)
+	copy(backing[off:], tmp)
+}
+
+// unsealRange decrypts backing[off:off+len(dst)) into dst.
+func unsealRange(secret [32]byte, id ID, backing []byte, off int64, dst []byte) {
+	copy(dst, backing[off:])
+	keystreamAt(secret, id, off, dst)
+}

@@ -1,0 +1,135 @@
+package region
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/props"
+)
+
+// The engine drives the manager sequentially, but the manager documents
+// itself as safe for concurrent use (background rebalancing, future
+// multi-threaded engines). This stress test hammers it from many
+// goroutines under -race.
+
+func TestManagerConcurrentStress(t *testing.T) {
+	m := newManager(t)
+	const goroutines = 8
+	const opsPer = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			compute := "node0/cpu0"
+			if g%2 == 1 {
+				compute = "node0/cpu1"
+			}
+			var live []*Handle
+			for i := 0; i < opsPer; i++ {
+				switch i % 4 {
+				case 0, 1:
+					h, err := m.Alloc(Spec{
+						Name: "stress", Class: props.PrivateScratch, Size: 4096,
+						Owner: Owner(fmt.Sprintf("g%d-i%d", g, i)), Compute: compute,
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					live = append(live, h)
+				case 2:
+					if len(live) > 0 {
+						h := live[len(live)-1]
+						buf := make([]byte, 64)
+						if _, err := h.WriteAt(0, 0, buf); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := h.ReadAt(0, 0, buf); err != nil {
+							errs <- err
+							return
+						}
+					}
+				case 3:
+					if len(live) > 0 {
+						h := live[0]
+						live = live[1:]
+						if err := h.Release(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+			for _, h := range live {
+				if err := h.Release(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m.Live() != 0 {
+		t.Errorf("leaked %d regions under concurrency", m.Live())
+	}
+	for dev, b := range m.DeviceBytes() {
+		if b != 0 {
+			t.Errorf("%s accounts %d bytes after teardown", dev, b)
+		}
+	}
+}
+
+func TestManagerConcurrentSharedRegion(t *testing.T) {
+	m := newManager(t)
+	base := mustAlloc(t, m, Spec{
+		Name: "shared", Class: props.GlobalState, Size: 4096,
+		Owner: "root", Compute: "node0/cpu0",
+	})
+	const sharers = 6
+	handles := make([]*Handle, sharers)
+	for i := range handles {
+		h, err := base.Share(Owner(fmt.Sprintf("s%d", i)), "node0/cpu1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < 300; i++ {
+				if i%2 == 0 {
+					h.WriteAt(0, int64(i%64)*8, buf) //nolint:errcheck
+				} else {
+					h.ReadAt(0, int64(i%64)*8, buf) //nolint:errcheck
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	if err := m.Directory().CheckInvariants(); err != nil {
+		t.Errorf("coherence invariants violated under concurrency: %v", err)
+	}
+	for _, h := range handles {
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := base.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 0 {
+		t.Error("leak after concurrent sharing")
+	}
+}

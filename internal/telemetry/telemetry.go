@@ -1,0 +1,269 @@
+// Package telemetry provides the cross-layer observability the paper's
+// challenge 8(1) calls for: when the runtime hides placement decisions,
+// developers still need to debug and profile dataflows across abstraction
+// layers. Every layer (region, placement, scheduler, coherence, fault
+// tolerance) records into a shared Registry; spans attribute simulated time
+// to (job, task, layer) so a report can slice by any of them.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Layer tags which abstraction layer produced a metric or span.
+type Layer string
+
+const (
+	LayerApp       Layer = "app"
+	LayerRuntime   Layer = "runtime"
+	LayerRegion    Layer = "region"
+	LayerPlacement Layer = "placement"
+	LayerScheduler Layer = "scheduler"
+	LayerCoherence Layer = "coherence"
+	LayerFault     Layer = "fault"
+	LayerDevice    Layer = "device"
+)
+
+// Registry collects counters and spans. The zero value is unusable; use
+// NewRegistry. A nil *Registry is a valid no-op sink, so hot paths can be
+// instrumented unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	spans    []Span
+}
+
+// Span is one attributed slice of simulated time.
+type Span struct {
+	Layer Layer
+	Job   string
+	Task  string
+	Name  string
+	Start time.Duration // virtual time
+	End   time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Add increments a named counter. Nil-safe.
+func (r *Registry) Add(layer Layer, name string, delta int64) {
+	if r == nil {
+		return
+	}
+	key := string(layer) + "/" + name
+	r.mu.Lock()
+	r.counters[key] += delta
+	r.mu.Unlock()
+}
+
+// Counter reads a counter (0 if absent). Nil-safe.
+func (r *Registry) Counter(layer Layer, name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[string(layer)+"/"+name]
+}
+
+// Record stores a completed span. Nil-safe.
+func (r *Registry) Record(s Span) {
+	if r == nil {
+		return
+	}
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of all recorded spans. Nil-safe.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Counters returns a sorted copy of all counters. Nil-safe.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all state. Nil-safe.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters = make(map[string]int64)
+	r.spans = nil
+	r.mu.Unlock()
+}
+
+// ByLayer aggregates total span time per layer — the "which layer is my
+// dataflow spending time in" profile.
+func (r *Registry) ByLayer() map[Layer]time.Duration {
+	out := make(map[Layer]time.Duration)
+	for _, s := range r.Spans() {
+		out[s.Layer] += s.Duration()
+	}
+	return out
+}
+
+// ByTask aggregates total span time per (job, task).
+func (r *Registry) ByTask() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range r.Spans() {
+		out[s.Job+"/"+s.Task] += s.Duration()
+	}
+	return out
+}
+
+// Report renders a deterministic multi-line profile, layers then counters.
+func (r *Registry) Report() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	byLayer := r.ByLayer()
+	layers := make([]string, 0, len(byLayer))
+	for l := range byLayer {
+		layers = append(layers, string(l))
+	}
+	sort.Strings(layers)
+	b.WriteString("time by layer:\n")
+	for _, l := range layers {
+		fmt.Fprintf(&b, "  %-12s %v\n", l, byLayer[Layer(l)])
+	}
+	counters := r.Counters()
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString("counters:\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-32s %d\n", k, counters[k])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket latency histogram for access profiles.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []time.Duration
+	buckets []int64
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds;
+// an implicit +Inf bucket catches the tail.
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
+}
+
+// DefaultLatencyBounds spans Table 1's latency range: 100ns … 10ms.
+func DefaultLatencyBounds() []time.Duration {
+	return []time.Duration{
+		100 * time.Nanosecond, time.Microsecond, 10 * time.Microsecond,
+		100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.buckets[i]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (bucket boundary), with
+// q in [0,1]. Returns Max for the tail bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target || (q == 1 && cum == h.count && c > 0) {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

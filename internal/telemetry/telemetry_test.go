@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Add(LayerRegion, "allocs", 3)
+	r.Add(LayerRegion, "allocs", 2)
+	r.Add(LayerFault, "recoveries", 1)
+	if got := r.Counter(LayerRegion, "allocs"); got != 5 {
+		t.Errorf("allocs = %d, want 5", got)
+	}
+	if got := r.Counter(LayerFault, "recoveries"); got != 1 {
+		t.Errorf("recoveries = %d, want 1", got)
+	}
+	if got := r.Counter(LayerApp, "missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Add(LayerApp, "x", 1) // must not panic
+	r.Record(Span{})
+	r.Reset()
+	if r.Counter(LayerApp, "x") != 0 || r.Spans() != nil || r.Counters() != nil {
+		t.Error("nil registry must behave as empty")
+	}
+	if r.Report() != "" {
+		t.Error("nil registry report must be empty")
+	}
+}
+
+func TestSpansAndAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Record(Span{Layer: LayerDevice, Job: "j", Task: "t1", Start: 0, End: 100})
+	r.Record(Span{Layer: LayerDevice, Job: "j", Task: "t2", Start: 50, End: 150})
+	r.Record(Span{Layer: LayerScheduler, Job: "j", Task: "t1", Start: 0, End: 10})
+	byLayer := r.ByLayer()
+	if byLayer[LayerDevice] != 200 {
+		t.Errorf("device time = %v, want 200", byLayer[LayerDevice])
+	}
+	byTask := r.ByTask()
+	if byTask["j/t1"] != 110 {
+		t.Errorf("t1 time = %v, want 110", byTask["j/t1"])
+	}
+}
+
+func TestSpanClampsNegative(t *testing.T) {
+	r := NewRegistry()
+	r.Record(Span{Layer: LayerApp, Start: 100, End: 50})
+	if d := r.Spans()[0].Duration(); d != 0 {
+		t.Errorf("inverted span duration = %v, want clamped 0", d)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Add(LayerRegion, "b", 1)
+	r.Add(LayerApp, "a", 2)
+	r.Record(Span{Layer: LayerDevice, Start: 0, End: time.Microsecond})
+	rep := r.Report()
+	if !strings.Contains(rep, "device") || !strings.Contains(rep, "region/b") {
+		t.Errorf("report missing entries:\n%s", rep)
+	}
+	if rep != r.Report() {
+		t.Error("report must be deterministic")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Add(LayerApp, "x", 1)
+	r.Record(Span{Layer: LayerApp, End: 5})
+	r.Reset()
+	if r.Counter(LayerApp, "x") != 0 || len(r.Spans()) != 0 {
+		t.Error("reset must clear everything")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Add(LayerDevice, "ops", 1)
+				r.Record(Span{Layer: LayerDevice, Start: 0, End: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(LayerDevice, "ops"); got != 8000 {
+		t.Errorf("ops = %d, want 8000", got)
+	}
+	if got := len(r.Spans()); got != 8000 {
+		t.Errorf("spans = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds()...)
+	samples := []time.Duration{
+		50 * time.Nanosecond, 90 * time.Nanosecond, // ≤100ns
+		500 * time.Nanosecond,  // ≤1µs
+		50 * time.Microsecond,  // ≤100µs
+		100 * time.Millisecond, // tail
+	}
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 20*time.Millisecond || mean > 21*time.Millisecond {
+		t.Errorf("mean = %v, want ≈100.05ms/5", mean)
+	}
+	// Median falls in the ≤1µs bucket.
+	if q := h.Quantile(0.5); q != time.Microsecond {
+		t.Errorf("p50 = %v, want 1µs bound", q)
+	}
+	if q := h.Quantile(1); q != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want max", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(time.Microsecond)
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Error("empty histogram must return zeros")
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds must panic")
+		}
+	}()
+	NewHistogram(time.Second, time.Millisecond)
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	h := NewHistogram(time.Microsecond)
+	h.Observe(time.Nanosecond)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q<0 must clamp to 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 must clamp to 1")
+	}
+}
+
+func TestExportChromeTrace(t *testing.T) {
+	r := NewRegistry()
+	r.Record(Span{Layer: LayerRuntime, Job: "j", Task: "t1", Name: "exec", Start: 1000, End: 5000})
+	r.Record(Span{Layer: LayerDevice, Job: "j", Task: "t1", Name: "read", Start: 2000, End: 3000})
+	var buf bytes.Buffer
+	if err := r.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["dur"].(float64) <= 0 {
+				t.Error("complete events must have positive duration")
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if meta < 3 { // 2 process names + ≥1 thread name
+		t.Errorf("metadata events = %d, want ≥3", meta)
+	}
+	// Nil registry writes an empty array.
+	var r2 *Registry
+	buf.Reset()
+	if err := r2.ExportChromeTrace(&buf); err != nil || buf.String() != "[]" {
+		t.Errorf("nil registry trace = %q, %v", buf.String(), err)
+	}
+}

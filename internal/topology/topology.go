@@ -1,0 +1,411 @@
+// Package topology models the hardware landscape of a disaggregated data
+// center: compute devices (CPUs, GPUs, TPUs, FPGAs), the simulated memory
+// devices of internal/memsim, and the interconnects between them (on-chip
+// fabrics, memory buses, UPI cross-socket links, PCIe/CXL, SATA, and the
+// network fabric reaching memory nodes).
+//
+// The central question the paper's §2.2 asks — "which physical memory device
+// best serves this request *from this compute device*?" — is answered here:
+// Path computes the cheapest interconnect route between a compute device and
+// a memory device, and EffectiveCaps folds the path cost into the device's
+// raw capabilities. The same memory device therefore presents different
+// capabilities to different compute devices (Figure 3).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/props"
+)
+
+// ComputeKind enumerates the compute device types of Figure 1.
+type ComputeKind uint8
+
+const (
+	CPU ComputeKind = iota
+	GPU
+	TPU
+	FPGA
+)
+
+// String returns the kind name.
+func (k ComputeKind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case TPU:
+		return "TPU"
+	case FPGA:
+		return "FPGA"
+	default:
+		return fmt.Sprintf("ComputeKind(%d)", uint8(k))
+	}
+}
+
+// ComputeDevice is a processing element tasks can be scheduled on.
+type ComputeDevice struct {
+	ID    string
+	Kind  ComputeKind
+	Node  string  // hosting node (chassis); "" for none
+	Gops  float64 // billions of scalar ops per second, the scheduler's speed model
+	Cores int     // parallel task slots
+}
+
+// LinkKind tags interconnect technologies, mostly for reporting.
+type LinkKind uint8
+
+const (
+	LinkOnChip LinkKind = iota
+	LinkMemBus          // DDR memory bus
+	LinkUPI             // cross-socket coherent link
+	LinkPCIe            // PCIe or CXL
+	LinkSATA
+	LinkNIC // network fabric hop
+)
+
+// String returns the link technology name.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkOnChip:
+		return "on-chip"
+	case LinkMemBus:
+		return "membus"
+	case LinkUPI:
+		return "UPI"
+	case LinkPCIe:
+		return "PCIe/CXL"
+	case LinkSATA:
+		return "SATA"
+	case LinkNIC:
+		return "NIC"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", uint8(k))
+	}
+}
+
+// Link is a bidirectional edge between two endpoints with its own latency
+// and bandwidth. Endpoints are string IDs: compute devices, memory devices,
+// or internal switches ("node0/pcie", "fabric").
+type Link struct {
+	A, B      string
+	Kind      LinkKind
+	Latency   time.Duration
+	Bandwidth float64 // bytes/second
+	Coherent  bool    // link preserves hardware cache coherence (memory bus, UPI, CXL)
+}
+
+// PathInfo is the result of routing from a compute device to a memory device.
+type PathInfo struct {
+	Hops      []Link
+	Latency   time.Duration // sum of link latencies (excludes the device's own latency)
+	Bandwidth float64       // min of link bandwidths (math.Inf(1) for the empty path)
+	Coherent  bool          // every hop preserves coherence
+}
+
+// Topology is the full hardware graph.
+type Topology struct {
+	computes map[string]*ComputeDevice
+	memories map[string]*memsim.Device
+	adj      map[string][]Link
+	// order preserves insertion order for deterministic iteration.
+	computeOrder []string
+	memoryOrder  []string
+	// pathCache memoizes routing results; the graph is static after
+	// construction and Path sits on every memory access's hot path.
+	pathMu    sync.RWMutex
+	pathCache map[[2]string]pathEntry
+}
+
+type pathEntry struct {
+	info PathInfo
+	ok   bool
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		computes:  make(map[string]*ComputeDevice),
+		memories:  make(map[string]*memsim.Device),
+		adj:       make(map[string][]Link),
+		pathCache: make(map[[2]string]pathEntry),
+	}
+}
+
+// AddCompute registers a compute device. IDs must be unique across the graph.
+func (t *Topology) AddCompute(c *ComputeDevice) error {
+	if c == nil || c.ID == "" {
+		return fmt.Errorf("topology: compute device must have an id")
+	}
+	if t.has(c.ID) {
+		return fmt.Errorf("topology: duplicate id %q", c.ID)
+	}
+	if c.Gops <= 0 {
+		return fmt.Errorf("topology: %s: Gops must be positive", c.ID)
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	t.computes[c.ID] = c
+	t.computeOrder = append(t.computeOrder, c.ID)
+	return nil
+}
+
+// AddMemory registers a memory device built by memsim.
+func (t *Topology) AddMemory(d *memsim.Device) error {
+	if d == nil {
+		return fmt.Errorf("topology: nil memory device")
+	}
+	if t.has(d.ID) {
+		return fmt.Errorf("topology: duplicate id %q", d.ID)
+	}
+	t.memories[d.ID] = d
+	t.memoryOrder = append(t.memoryOrder, d.ID)
+	return nil
+}
+
+func (t *Topology) has(id string) bool {
+	if _, ok := t.computes[id]; ok {
+		return true
+	}
+	if _, ok := t.memories[id]; ok {
+		return true
+	}
+	return false
+}
+
+// Connect adds a bidirectional link. Unknown endpoints are allowed — they
+// become switches (pure routing vertices).
+func (t *Topology) Connect(l Link) error {
+	if l.A == "" || l.B == "" || l.A == l.B {
+		return fmt.Errorf("topology: invalid link %q-%q", l.A, l.B)
+	}
+	if l.Latency < 0 || l.Bandwidth <= 0 {
+		return fmt.Errorf("topology: link %s-%s needs latency ≥ 0 and bandwidth > 0", l.A, l.B)
+	}
+	t.adj[l.A] = append(t.adj[l.A], l)
+	rev := l
+	rev.A, rev.B = l.B, l.A
+	t.adj[l.B] = append(t.adj[l.B], rev)
+	t.pathMu.Lock()
+	t.pathCache = make(map[[2]string]pathEntry) // routes changed
+	t.pathMu.Unlock()
+	return nil
+}
+
+// Compute returns a registered compute device.
+func (t *Topology) Compute(id string) (*ComputeDevice, bool) {
+	c, ok := t.computes[id]
+	return c, ok
+}
+
+// Memory returns a registered memory device.
+func (t *Topology) Memory(id string) (*memsim.Device, bool) {
+	d, ok := t.memories[id]
+	return d, ok
+}
+
+// Computes returns all compute devices in insertion order.
+func (t *Topology) Computes() []*ComputeDevice {
+	out := make([]*ComputeDevice, 0, len(t.computeOrder))
+	for _, id := range t.computeOrder {
+		out = append(out, t.computes[id])
+	}
+	return out
+}
+
+// Memories returns all memory devices in insertion order.
+func (t *Topology) Memories() []*memsim.Device {
+	out := make([]*memsim.Device, 0, len(t.memoryOrder))
+	for _, id := range t.memoryOrder {
+		out = append(out, t.memories[id])
+	}
+	return out
+}
+
+// ComputesByKind returns compute devices of the given kind.
+func (t *Topology) ComputesByKind(k ComputeKind) []*ComputeDevice {
+	var out []*ComputeDevice
+	for _, c := range t.Computes() {
+		if c.Kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Path routes from one endpoint to another, minimizing latency (ties broken
+// by hop count, then lexicographically for determinism). It returns false if
+// no route exists. Results are memoized: the graph is immutable once built
+// and Path runs on every simulated memory access.
+func (t *Topology) Path(from, to string) (PathInfo, bool) {
+	if from == to {
+		return PathInfo{Bandwidth: math.Inf(1), Coherent: true}, true
+	}
+	key := [2]string{from, to}
+	t.pathMu.RLock()
+	if e, hit := t.pathCache[key]; hit {
+		t.pathMu.RUnlock()
+		return e.info, e.ok
+	}
+	t.pathMu.RUnlock()
+	info, ok := t.route(from, to)
+	t.pathMu.Lock()
+	t.pathCache[key] = pathEntry{info: info, ok: ok}
+	t.pathMu.Unlock()
+	return info, ok
+}
+
+// route is the uncached Dijkstra search behind Path.
+func (t *Topology) route(from, to string) (PathInfo, bool) {
+	type state struct {
+		lat  time.Duration
+		hops int
+	}
+	dist := map[string]state{from: {}}
+	prev := map[string]Link{}
+	visited := map[string]bool{}
+	for {
+		// Extract the unvisited vertex with minimal (lat, hops, id).
+		cur, ok := "", false
+		var best state
+		keys := make([]string, 0, len(dist))
+		for v := range dist {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys)
+		for _, v := range keys {
+			if visited[v] {
+				continue
+			}
+			s := dist[v]
+			if !ok || s.lat < best.lat || (s.lat == best.lat && s.hops < best.hops) {
+				cur, best, ok = v, s, true
+			}
+		}
+		if !ok {
+			return PathInfo{}, false
+		}
+		if cur == to {
+			break
+		}
+		visited[cur] = true
+		for _, l := range t.adj[cur] {
+			nd := state{best.lat + l.Latency, best.hops + 1}
+			if old, seen := dist[l.B]; !seen || nd.lat < old.lat || (nd.lat == old.lat && nd.hops < old.hops) {
+				dist[l.B] = nd
+				prev[l.B] = l
+			}
+		}
+	}
+	// Reconstruct.
+	var hops []Link
+	for v := to; v != from; {
+		l := prev[v]
+		hops = append(hops, l)
+		v = l.A
+	}
+	// Reverse into from→to order.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	info := PathInfo{Hops: hops, Bandwidth: math.Inf(1), Coherent: true}
+	for _, l := range hops {
+		info.Latency += l.Latency
+		if l.Bandwidth < info.Bandwidth {
+			info.Bandwidth = l.Bandwidth
+		}
+		if !l.Coherent {
+			info.Coherent = false
+		}
+	}
+	return info, true
+}
+
+// EffectiveCaps folds a path's cost into a memory device's raw spec,
+// producing the capabilities the device offers *as seen from* the given
+// compute device. This is the paper's Figure 3 in code: DRAM looks fast from
+// the local CPU and slow from a GPU across PCIe; GDDR is the reverse.
+func (t *Topology) EffectiveCaps(computeID, memID string) (props.Capabilities, bool) {
+	mem, ok := t.memories[memID]
+	if !ok {
+		return props.Capabilities{}, false
+	}
+	if _, ok := t.computes[computeID]; !ok {
+		return props.Capabilities{}, false
+	}
+	path, ok := t.Path(computeID, memID)
+	if !ok {
+		return props.Capabilities{}, false
+	}
+	bw := mem.Bandwidth
+	if path.Bandwidth < bw {
+		bw = path.Bandwidth
+	}
+	remote := false
+	for _, l := range path.Hops {
+		if l.Kind == LinkNIC {
+			remote = true
+			break
+		}
+	}
+	return props.Capabilities{
+		Latency:         mem.Latency + path.Latency,
+		Bandwidth:       bw,
+		Granularity:     mem.Granularity,
+		ByteAddressable: mem.ByteAddressable(),
+		Coherent:        mem.Coherent && path.Coherent,
+		Sync:            mem.Sync && !remote,
+		Persistent:      mem.Persistent,
+		Remote:          remote,
+		FreeCapacity:    mem.Free(),
+	}, true
+}
+
+// AccessTime returns the virtual completion time of a memory access of size
+// bytes issued by computeID against memID at virtual time now: path latency
+// both ways is added to the device's queued service time, and transfer time
+// is scaled up if the path is narrower than the device.
+func (t *Topology) AccessTime(computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error) {
+	mem, ok := t.memories[memID]
+	if !ok {
+		return 0, fmt.Errorf("topology: unknown memory device %q", memID)
+	}
+	path, ok := t.Path(computeID, memID)
+	if !ok {
+		return 0, fmt.Errorf("topology: no path %s→%s", computeID, memID)
+	}
+	done := mem.Access(now+path.Latency, size, kind, pat)
+	// If the path is the bottleneck, stretch the transfer phase.
+	if size > 0 && path.Bandwidth < mem.Bandwidth {
+		extra := time.Duration(float64(size)/path.Bandwidth*float64(time.Second)) -
+			time.Duration(float64(size)/mem.Bandwidth*float64(time.Second))
+		if extra > 0 {
+			done += extra
+		}
+	}
+	return done + path.Latency, nil
+}
+
+// ResetQueues drains every memory device's service queue — used between
+// measurement phases so one experiment's virtual backlog cannot leak into
+// the next.
+func (t *Topology) ResetQueues() {
+	for _, m := range t.memories {
+		m.ResetQueue()
+	}
+}
+
+// Addressable reports whether the compute device can address the memory
+// device at all (a route exists). Block devices remain addressable — the
+// runtime wraps them behind async interfaces.
+func (t *Topology) Addressable(computeID, memID string) bool {
+	_, ok := t.Path(computeID, memID)
+	return ok
+}

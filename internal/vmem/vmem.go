@@ -1,0 +1,243 @@
+// Package vmem is the memory-centric OS layer of the paper's challenges
+// 4-5: "the core responsibility of the operating system is mapping
+// RTS-requested memory into the address space of our proposed tasks."
+// Ownership lives globally in the RTS (the region manager); the OS's
+// remaining job is address translation.
+//
+// An AddressSpace maps virtual pages onto Memory Regions. Translation goes
+// through a small simulated TLB: hits are free, misses pay a page-walk
+// cost before the region access proceeds. Unmapped or protection-violating
+// accesses fault — returning errors rather than silently touching the
+// wrong region, which is how a memory-centric OS surfaces ownership bugs.
+package vmem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/region"
+)
+
+// Errors.
+var (
+	ErrFault      = errors.New("vmem: page fault (address not mapped)")
+	ErrProtection = errors.New("vmem: protection violation")
+	ErrOverlap    = errors.New("vmem: mapping overlaps an existing one")
+	ErrBadParam   = errors.New("vmem: invalid parameter")
+)
+
+// Prot is a mapping's protection bits.
+type Prot uint8
+
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+)
+
+// mapping is one contiguous VA range backed by a region.
+type mapping struct {
+	base   uint64
+	length int64
+	h      *region.Handle
+	prot   Prot
+}
+
+// Config tunes the address space.
+type Config struct {
+	PageSize     int64         // default 4096
+	TLBEntries   int           // default 64
+	PageWalkCost time.Duration // per TLB miss, default 100ns
+}
+
+// AddressSpace is one task's virtual address space.
+type AddressSpace struct {
+	cfg      Config
+	mappings []mapping // sorted by base
+	nextBase uint64
+	// tlb is an LRU of page number → mapping index.
+	tlb      map[uint64]int
+	tlbOrder []uint64
+	hits     uint64
+	misses   uint64
+	faults   uint64
+}
+
+// New builds an empty address space.
+func New(cfg Config) *AddressSpace {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.TLBEntries <= 0 {
+		cfg.TLBEntries = 64
+	}
+	if cfg.PageWalkCost <= 0 {
+		cfg.PageWalkCost = 100 * time.Nanosecond
+	}
+	return &AddressSpace{
+		cfg: cfg,
+		// Leave page 0 unmapped so address 0 always faults (nil deref).
+		nextBase: uint64(cfg.PageSize),
+		tlb:      make(map[uint64]int),
+	}
+}
+
+// Map installs a region into the address space and returns its base
+// virtual address. The mapping covers the whole region, rounded up to
+// pages; the hole after the end stays unmapped (guard page behaviour).
+func (as *AddressSpace) Map(h *region.Handle, prot Prot) (uint64, error) {
+	if h == nil || prot == 0 {
+		return 0, fmt.Errorf("%w: nil handle or empty protection", ErrBadParam)
+	}
+	size, err := h.Size()
+	if err != nil {
+		return 0, err
+	}
+	pages := (size + as.cfg.PageSize - 1) / as.cfg.PageSize
+	base := as.nextBase
+	as.nextBase += uint64((pages + 1) * as.cfg.PageSize) // +1 guard page
+	as.mappings = append(as.mappings, mapping{base: base, length: size, h: h, prot: prot})
+	sort.Slice(as.mappings, func(i, j int) bool { return as.mappings[i].base < as.mappings[j].base })
+	as.flushTLB()
+	return base, nil
+}
+
+// MapAt installs a region at a caller-chosen base (page-aligned).
+func (as *AddressSpace) MapAt(base uint64, h *region.Handle, prot Prot) error {
+	if h == nil || prot == 0 || base == 0 || base%uint64(as.cfg.PageSize) != 0 {
+		return fmt.Errorf("%w: base must be a non-zero page multiple", ErrBadParam)
+	}
+	size, err := h.Size()
+	if err != nil {
+		return err
+	}
+	for _, m := range as.mappings {
+		if base < m.base+uint64(m.length) && m.base < base+uint64(size) {
+			return fmt.Errorf("%w: [%d,%d) hits [%d,%d)", ErrOverlap, base, base+uint64(size), m.base, m.base+uint64(m.length))
+		}
+	}
+	as.mappings = append(as.mappings, mapping{base: base, length: size, h: h, prot: prot})
+	sort.Slice(as.mappings, func(i, j int) bool { return as.mappings[i].base < as.mappings[j].base })
+	if base+uint64(size) >= as.nextBase {
+		as.nextBase = base + uint64(size) + uint64(as.cfg.PageSize)
+	}
+	as.flushTLB()
+	return nil
+}
+
+// Unmap removes the mapping at base.
+func (as *AddressSpace) Unmap(base uint64) error {
+	for i, m := range as.mappings {
+		if m.base == base {
+			as.mappings = append(as.mappings[:i], as.mappings[i+1:]...)
+			as.flushTLB()
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: no mapping at %#x", ErrFault, base)
+}
+
+// Mappings returns the number of live mappings.
+func (as *AddressSpace) Mappings() int { return len(as.mappings) }
+
+func (as *AddressSpace) flushTLB() {
+	as.tlb = make(map[uint64]int)
+	as.tlbOrder = as.tlbOrder[:0]
+}
+
+// lookup finds the mapping covering va (binary search).
+func (as *AddressSpace) lookup(va uint64) (int, bool) {
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].base+uint64(as.mappings[i].length) > va
+	})
+	if i < len(as.mappings) && va >= as.mappings[i].base {
+		return i, true
+	}
+	return 0, false
+}
+
+// translate resolves va through the TLB, returning the mapping index and
+// the virtual time after any page walk.
+func (as *AddressSpace) translate(now time.Duration, va uint64) (int, time.Duration, error) {
+	page := va / uint64(as.cfg.PageSize)
+	if idx, hit := as.tlb[page]; hit {
+		// Validate the cached entry still covers va (mappings are flushed
+		// on change, so a hit is always current).
+		as.hits++
+		return idx, now, nil
+	}
+	as.misses++
+	now += as.cfg.PageWalkCost
+	idx, ok := as.lookup(va)
+	if !ok {
+		as.faults++
+		return 0, now, fmt.Errorf("%w: va %#x", ErrFault, va)
+	}
+	// Insert into the TLB, evicting LRU.
+	if len(as.tlbOrder) >= as.cfg.TLBEntries {
+		oldest := as.tlbOrder[0]
+		as.tlbOrder = as.tlbOrder[1:]
+		delete(as.tlb, oldest)
+	}
+	as.tlb[page] = idx
+	as.tlbOrder = append(as.tlbOrder, page)
+	return idx, now, nil
+}
+
+// access is the shared data path.
+func (as *AddressSpace) access(now time.Duration, va uint64, buf []byte, write bool) (time.Duration, error) {
+	idx, now, err := as.translate(now, va)
+	if err != nil {
+		return now, err
+	}
+	m := as.mappings[idx]
+	need := ProtRead
+	if write {
+		need = ProtWrite
+	}
+	if m.prot&need == 0 {
+		as.faults++
+		return now, fmt.Errorf("%w: va %#x needs %d", ErrProtection, va, need)
+	}
+	off := int64(va - m.base)
+	if off+int64(len(buf)) > m.length {
+		as.faults++
+		return now, fmt.Errorf("%w: access crosses the mapping end at %#x", ErrFault, m.base+uint64(m.length))
+	}
+	if write {
+		f := m.h.WriteAsync(now, off, buf)
+		return f.Await(now)
+	}
+	f := m.h.ReadAsync(now, off, buf)
+	return f.Await(now)
+}
+
+// Read loads len(buf) bytes from va.
+func (as *AddressSpace) Read(now time.Duration, va uint64, buf []byte) (time.Duration, error) {
+	return as.access(now, va, buf, false)
+}
+
+// Write stores buf at va.
+func (as *AddressSpace) Write(now time.Duration, va uint64, buf []byte) (time.Duration, error) {
+	return as.access(now, va, buf, true)
+}
+
+// Stats reports translation counters.
+type Stats struct {
+	TLBHits, TLBMisses, Faults uint64
+}
+
+// Stats returns a snapshot.
+func (as *AddressSpace) Stats() Stats {
+	return Stats{TLBHits: as.hits, TLBMisses: as.misses, Faults: as.faults}
+}
+
+// HitRate returns TLB hits / translations.
+func (as *AddressSpace) HitRate() float64 {
+	total := as.hits + as.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(as.hits) / float64(total)
+}

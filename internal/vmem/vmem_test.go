@@ -1,0 +1,326 @@
+package vmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/placement"
+	"repro/internal/props"
+	"repro/internal/region"
+	"repro/internal/topology"
+)
+
+func setup(t testing.TB) *region.Manager {
+	t.Helper()
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func allocRegion(t testing.TB, mgr *region.Manager, size int64) *region.Handle {
+	t.Helper()
+	h, err := mgr.Alloc(region.Spec{
+		Name: "seg", Class: props.PrivateScratch, Size: size,
+		Owner: "task", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMapReadWriteRoundtrip(t *testing.T) {
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 8192)
+	defer h.Release()
+	as := New(Config{})
+	base, err := as.Map(h, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == 0 {
+		t.Fatal("page 0 must stay unmapped")
+	}
+	payload := []byte("virtual memory over regions")
+	now, err := as.Write(0, base+100, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now <= 0 {
+		t.Error("write must cost virtual time")
+	}
+	got := make([]byte, len(payload))
+	if _, err := as.Read(now, base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read %q", got)
+	}
+}
+
+func TestNilDerefFaults(t *testing.T) {
+	as := New(Config{})
+	if _, err := as.Read(0, 0, make([]byte, 8)); !errors.Is(err, ErrFault) {
+		t.Error("address 0 must fault")
+	}
+	if _, err := as.Read(0, 12345, make([]byte, 8)); !errors.Is(err, ErrFault) {
+		t.Error("unmapped address must fault")
+	}
+	if as.Stats().Faults == 0 {
+		t.Error("faults must be counted")
+	}
+}
+
+func TestProtectionEnforced(t *testing.T) {
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 4096)
+	defer h.Release()
+	as := New(Config{})
+	base, err := as.Map(h, ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Read(0, base, make([]byte, 8)); err != nil {
+		t.Errorf("read of read-only mapping: %v", err)
+	}
+	if _, err := as.Write(0, base, make([]byte, 8)); !errors.Is(err, ErrProtection) {
+		t.Error("write to read-only mapping must fault")
+	}
+}
+
+func TestGuardPageBetweenMappings(t *testing.T) {
+	mgr := setup(t)
+	h1 := allocRegion(t, mgr, 4096)
+	h2 := allocRegion(t, mgr, 4096)
+	defer h1.Release()
+	defer h2.Release()
+	as := New(Config{})
+	b1, err := as.Map(h1, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := as.Map(h2, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2-b1 < 8192 {
+		t.Fatalf("mappings must be separated by a guard page: %d %d", b1, b2)
+	}
+	// An overflow off the end of h1 must fault, not bleed into h2.
+	if _, err := as.Read(0, b1+4090, make([]byte, 16)); !errors.Is(err, ErrFault) {
+		t.Error("access crossing the mapping end must fault")
+	}
+}
+
+func TestMapAtAndOverlap(t *testing.T) {
+	mgr := setup(t)
+	h1 := allocRegion(t, mgr, 4096)
+	h2 := allocRegion(t, mgr, 4096)
+	defer h1.Release()
+	defer h2.Release()
+	as := New(Config{})
+	if err := as.MapAt(0x10000, h1, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapAt(0x10000, h2, ProtRead); !errors.Is(err, ErrOverlap) {
+		t.Error("overlapping MapAt must fail")
+	}
+	if err := as.MapAt(123, h2, ProtRead); !errors.Is(err, ErrBadParam) {
+		t.Error("unaligned base must fail")
+	}
+	if err := as.MapAt(0x40000, h2, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if as.Mappings() != 2 {
+		t.Errorf("mappings = %d", as.Mappings())
+	}
+	// Later Map() must not collide with the MapAt range.
+	h3 := allocRegion(t, mgr, 4096)
+	defer h3.Release()
+	b3, err := as.Map(h3, ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 <= 0x40000 {
+		t.Errorf("auto base %#x must be past the highest mapping", b3)
+	}
+}
+
+func TestUnmapFaultsAfter(t *testing.T) {
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 4096)
+	defer h.Release()
+	as := New(Config{})
+	base, _ := as.Map(h, ProtRead|ProtWrite)
+	if _, err := as.Read(0, base, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Read(0, base, make([]byte, 8)); !errors.Is(err, ErrFault) {
+		t.Error("unmapped VA must fault")
+	}
+	if err := as.Unmap(base); !errors.Is(err, ErrFault) {
+		t.Error("double unmap must fail")
+	}
+}
+
+func TestTLBHitsReduceCost(t *testing.T) {
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 4096)
+	defer h.Release()
+	as := New(Config{})
+	base, _ := as.Map(h, ProtRead|ProtWrite)
+	buf := make([]byte, 8)
+	// First access: miss + walk. Second to the same page (issued after the
+	// first completes): hit — no walk cost.
+	t1, err := as.Read(0, base, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := as.Read(t1, base+64, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2-t1 >= t1 {
+		t.Errorf("TLB hit (%v) must be cheaper than the miss (%v)", t2-t1, t1)
+	}
+	st := as.Stats()
+	if st.TLBHits != 1 || st.TLBMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if as.HitRate() != 0.5 {
+		t.Errorf("hit rate = %f", as.HitRate())
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 64<<10) // 16 pages
+	defer h.Release()
+	as := New(Config{TLBEntries: 4})
+	base, _ := as.Map(h, ProtRead)
+	buf := make([]byte, 8)
+	// Touch 8 distinct pages: all misses, TLB holds the last 4.
+	for p := 0; p < 8; p++ {
+		if _, err := as.Read(0, base+uint64(p*4096), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-touch the last 4: hits. Re-touch the first 4: misses again.
+	for p := 4; p < 8; p++ {
+		as.Read(0, base+uint64(p*4096), buf)
+	}
+	for p := 0; p < 4; p++ {
+		as.Read(0, base+uint64(p*4096), buf)
+	}
+	st := as.Stats()
+	if st.TLBHits != 4 {
+		t.Errorf("hits = %d, want 4", st.TLBHits)
+	}
+	if st.TLBMisses != 12 {
+		t.Errorf("misses = %d, want 12", st.TLBMisses)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	as := New(Config{})
+	if _, err := as.Map(nil, ProtRead); !errors.Is(err, ErrBadParam) {
+		t.Error("nil handle must fail")
+	}
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 64)
+	defer h.Release()
+	if _, err := as.Map(h, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("empty protection must fail")
+	}
+}
+
+func TestStaleRegionSurfacesThroughVM(t *testing.T) {
+	// The region moves to another owner; the old mapping's accesses must
+	// surface the ownership error — the OS does not hide RTS ownership.
+	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := region.NewManager(region.Config{Topology: topo, Placer: placement.NewBestFit(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mgr.Alloc(region.Spec{
+		Name: "seg", Class: props.Transfer, Size: 4096,
+		Owner: "t1", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := New(Config{})
+	base, _ := as.Map(h, ProtRead|ProtWrite)
+	h2, _, err := h.Transfer(0, "t2", "node0/cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if _, err := as.Read(0, base, make([]byte, 8)); !errors.Is(err, region.ErrStaleHandle) {
+		t.Errorf("stale-handle access through VM err = %v", err)
+	}
+}
+
+// Property: for random mapped layouts, every in-bounds access round-trips
+// and every out-of-bounds access faults.
+func TestAccessBoundaryProperty(t *testing.T) {
+	mgr := setup(t)
+	h := allocRegion(t, mgr, 8192)
+	defer h.Release()
+	as := New(Config{})
+	base, err := as.Map(h, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, n uint8) bool {
+		length := int64(n%64) + 1
+		o := int64(off) % 9000
+		buf := make([]byte, length)
+		_, err := as.Read(0, base+uint64(o), buf)
+		inBounds := o+length <= 8192
+		if inBounds {
+			return err == nil
+		}
+		return errors.Is(err, ErrFault)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVMRead(b *testing.B) {
+	mgr := setup(b)
+	topoH, err := mgr.Alloc(region.Spec{
+		Name: "seg", Class: props.PrivateScratch, Size: 1 << 20,
+		Owner: "task", Compute: "node0/cpu0",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := New(Config{})
+	base, err := as.Map(topoH, ProtRead|ProtWrite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := as.Read(0, base+uint64((i%1024)*64), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

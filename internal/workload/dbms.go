@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/props"
+	"repro/internal/region"
+)
+
+// DBMS builds the Table 3 database row as a runnable query pipeline:
+//
+//	scan → filter → hash-aggregate → hash-join
+//
+// Operator state (the aggregation hash table) lives in Private Scratch;
+// query admission is synchronized through a latch word in Global State; the
+// aggregation's hash index is published to Global Scratch and *re-used* by
+// the join — the paper's example of an operator re-using a transient result
+// of an earlier operator.
+type DBMSConfig struct {
+	Rows      int // base table cardinality
+	Groups    int // distinct aggregation keys
+	Predicate uint32
+}
+
+// DefaultDBMS returns the configuration used by tests and benches.
+func DefaultDBMS() DBMSConfig {
+	return DBMSConfig{Rows: 4096, Groups: 64, Predicate: 3}
+}
+
+const rowSize = 8 // key uint32 | value uint32
+
+// DBMS builds the job.
+func DBMS(cfg DBMSConfig) *dataflow.Job {
+	if cfg.Rows <= 0 {
+		cfg = DefaultDBMS()
+	}
+	tableBytes := int64(cfg.Rows * rowSize)
+	j := dataflow.NewJob("dbms")
+
+	scan := j.Task("scan", dataflow.Props{
+		Compute: dataflow.OnCPU, MemLatency: props.LatencyLow,
+		Ops: float64(cfg.Rows) * 10, OutputBytes: tableBytes,
+	}, func(ctx dataflow.Ctx) error {
+		// Admission latch in Global State: one writer at a time.
+		latch, err := ctx.Global("admission-latch", props.GlobalState, 64)
+		if err != nil {
+			return err
+		}
+		word := make([]byte, 8)
+		now, err := latch.ReadAt(ctx.Now(), 0, word)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		binary.BigEndian.PutUint64(word, binary.BigEndian.Uint64(word)+1)
+		now, err = latch.WriteAt(ctx.Now(), 0, word)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+
+		out, err := ctx.Output(tableBytes)
+		if err != nil {
+			return err
+		}
+		// Materialize the base table (synthetic, deterministic).
+		row := make([]byte, rowSize)
+		for i := 0; i < cfg.Rows; i++ {
+			key := uint32(i) % uint32(cfg.Groups)
+			val := uint32(i)*2654435761 + 7
+			binary.BigEndian.PutUint32(row[:4], key)
+			binary.BigEndian.PutUint32(row[4:], val)
+			now, err := out.WriteAt(ctx.Now(), int64(i*rowSize), row)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		ctx.Log("scanned %d rows", cfg.Rows)
+		return nil
+	})
+
+	filter := j.Task("filter", dataflow.Props{
+		Compute: dataflow.OnCPU, MemLatency: props.LatencyLow,
+		Ops: float64(cfg.Rows) * 5, OutputBytes: tableBytes,
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		out, err := ctx.Output(tableBytes)
+		if err != nil {
+			return err
+		}
+		row := make([]byte, rowSize)
+		kept := 0
+		for i := 0; i < cfg.Rows; i++ {
+			now, err := in.ReadAt(ctx.Now(), int64(i*rowSize), row)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			if binary.BigEndian.Uint32(row[4:])%cfg.Predicate == 0 {
+				continue // predicate drops the row
+			}
+			now, err = out.WriteAt(ctx.Now(), int64(kept*rowSize), row)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			kept++
+		}
+		// Row count header convention: last 8 bytes hold the count.
+		cnt := make([]byte, 8)
+		binary.BigEndian.PutUint64(cnt, uint64(kept))
+		now, err := out.WriteAt(ctx.Now(), tableBytes-8, cnt)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("filter kept %d of %d rows", kept, cfg.Rows)
+		return nil
+	})
+
+	agg := j.Task("hash-aggregate", dataflow.Props{
+		Compute: dataflow.OnCPU, MemLatency: props.LatencyLow,
+		Ops: float64(cfg.Rows) * 20, OutputBytes: int64(cfg.Groups * rowSize),
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// The group hash table is classic operator state: Private Scratch.
+		ht, err := NewRegionHashTable(ctx, "group-ht", cfg.Groups*4)
+		if err != nil {
+			return err
+		}
+		n, _ := in.Size()
+		rows := int((n - 8) / rowSize)
+		cnt := make([]byte, 8)
+		now, err := in.ReadAt(ctx.Now(), n-8, cnt)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		if c := binary.BigEndian.Uint64(cnt); c > 0 && int(c) < rows {
+			rows = int(c)
+		}
+		row := make([]byte, rowSize)
+		for i := 0; i < rows; i++ {
+			now, err := in.ReadAt(ctx.Now(), int64(i*rowSize), row)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			key := binary.BigEndian.Uint32(row[:4])
+			val := binary.BigEndian.Uint32(row[4:])
+			if err := ht.Upsert(key, func(old uint32) uint32 { return old + val%1000 }); err != nil {
+				return err
+			}
+		}
+		// Publish the hash index to Global Scratch so later operators can
+		// re-use it (the paper's hash-join example).
+		idx, err := ctx.Global("agg-index", props.GlobalScratch, ht.Bytes())
+		if err != nil {
+			return err
+		}
+		if err := ht.CopyTo(idx); err != nil {
+			return err
+		}
+		// The aggregate results are also the task output.
+		out, err := ctx.Output(int64(cfg.Groups * rowSize))
+		if err != nil {
+			return err
+		}
+		if err := ht.Export(out, cfg.Groups); err != nil {
+			return err
+		}
+		ctx.Log("aggregated %d rows into ≤%d groups", rows, cfg.Groups)
+		return nil
+	})
+
+	join := j.Task("hash-join", dataflow.Props{
+		Compute: dataflow.OnCPU, MemLatency: props.LatencyLow,
+		Ops: float64(cfg.Rows) * 15, OutputBytes: 8,
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// Re-use the aggregation's hash index from Global Scratch instead
+		// of rebuilding it: the cross-operator reuse §2.4 describes.
+		idx, err := ctx.Global("agg-index", props.GlobalScratch, 0)
+		if err != nil {
+			return err
+		}
+		ht, err := AttachRegionHashTable(ctx, idx)
+		if err != nil {
+			return err
+		}
+		matches := uint64(0)
+		row := make([]byte, rowSize)
+		n, _ := in.Size()
+		for off := int64(0); off+rowSize <= n; off += rowSize {
+			now, err := in.ReadAt(ctx.Now(), off, row)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			key := binary.BigEndian.Uint32(row[:4])
+			if _, ok, err := ht.Lookup(key); err != nil {
+				return err
+			} else if ok {
+				matches++
+			}
+		}
+		out, err := ctx.Output(8)
+		if err != nil {
+			return err
+		}
+		res := make([]byte, 8)
+		binary.BigEndian.PutUint64(res, matches)
+		now, err := out.WriteAt(ctx.Now(), 0, res)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("join matched %d probe rows", matches)
+		return nil
+	})
+
+	scan.Then(filter)
+	filter.Then(agg)
+	agg.Then(join)
+	return j
+}
+
+// RegionHashTable is an open-addressing (linear probing) hash table stored
+// *inside* a Memory Region — operator state living where the runtime placed
+// it, with every probe paying the region's access cost. Slots are 12 bytes:
+// used(4) | key(4) | value(4).
+type RegionHashTable struct {
+	ctx   dataflow.Ctx
+	h     *region.Handle
+	slots int
+}
+
+const slotSize = 12
+
+// NewRegionHashTable allocates a table with the given slot count in the
+// task's Private Scratch.
+func NewRegionHashTable(ctx dataflow.Ctx, name string, slots int) (*RegionHashTable, error) {
+	if slots < 4 {
+		slots = 4
+	}
+	h, err := ctx.Scratch(name, int64(slots*slotSize))
+	if err != nil {
+		return nil, err
+	}
+	return &RegionHashTable{ctx: ctx, h: h, slots: slots}, nil
+}
+
+// AttachRegionHashTable wraps an existing region that holds an exported
+// table (e.g. from Global Scratch).
+func AttachRegionHashTable(ctx dataflow.Ctx, h *region.Handle) (*RegionHashTable, error) {
+	size, err := h.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size%slotSize != 0 || size == 0 {
+		return nil, fmt.Errorf("workload: region size %d is not a slot multiple", size)
+	}
+	return &RegionHashTable{ctx: ctx, h: h, slots: int(size / slotSize)}, nil
+}
+
+// Bytes returns the table's backing size.
+func (t *RegionHashTable) Bytes() int64 { return int64(t.slots * slotSize) }
+
+// read one slot.
+func (t *RegionHashTable) slot(i int) (used, key, val uint32, err error) {
+	buf := make([]byte, slotSize)
+	now, err := t.h.ReadAt(t.ctx.Now(), int64(i*slotSize), buf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	t.ctx.Wait(now)
+	return binary.BigEndian.Uint32(buf[0:4]), binary.BigEndian.Uint32(buf[4:8]), binary.BigEndian.Uint32(buf[8:12]), nil
+}
+
+func (t *RegionHashTable) setSlot(i int, key, val uint32) error {
+	buf := make([]byte, slotSize)
+	binary.BigEndian.PutUint32(buf[0:4], 1)
+	binary.BigEndian.PutUint32(buf[4:8], key)
+	binary.BigEndian.PutUint32(buf[8:12], val)
+	now, err := t.h.WriteAt(t.ctx.Now(), int64(i*slotSize), buf)
+	if err != nil {
+		return err
+	}
+	t.ctx.Wait(now)
+	return nil
+}
+
+// Upsert inserts or updates a key with the given value transform.
+func (t *RegionHashTable) Upsert(key uint32, f func(old uint32) uint32) error {
+	i := int(key*2654435761) % t.slots
+	if i < 0 {
+		i += t.slots
+	}
+	for probe := 0; probe < t.slots; probe++ {
+		used, k, v, err := t.slot(i)
+		if err != nil {
+			return err
+		}
+		if used == 0 {
+			return t.setSlot(i, key, f(0))
+		}
+		if k == key {
+			return t.setSlot(i, key, f(v))
+		}
+		i = (i + 1) % t.slots
+	}
+	return fmt.Errorf("workload: hash table full (%d slots)", t.slots)
+}
+
+// Lookup returns the value for key.
+func (t *RegionHashTable) Lookup(key uint32) (uint32, bool, error) {
+	i := int(key*2654435761) % t.slots
+	if i < 0 {
+		i += t.slots
+	}
+	for probe := 0; probe < t.slots; probe++ {
+		used, k, v, err := t.slot(i)
+		if err != nil {
+			return 0, false, err
+		}
+		if used == 0 {
+			return 0, false, nil
+		}
+		if k == key {
+			return v, true, nil
+		}
+		i = (i + 1) % t.slots
+	}
+	return 0, false, nil
+}
+
+// CopyTo copies the whole table into another region (publishing to Global
+// Scratch). The destination must be at least Bytes() long.
+func (t *RegionHashTable) CopyTo(dst *region.Handle) error {
+	buf := make([]byte, t.Bytes())
+	now, err := t.h.ReadAt(t.ctx.Now(), 0, buf)
+	if err != nil {
+		return err
+	}
+	t.ctx.Wait(now)
+	f := dst.WriteAsync(t.ctx.Now(), 0, buf)
+	now, err = f.Await(t.ctx.Now())
+	if err != nil {
+		return err
+	}
+	t.ctx.Wait(now)
+	return nil
+}
+
+// Export writes up to maxRows (key,value) pairs of used slots into dst.
+func (t *RegionHashTable) Export(dst *region.Handle, maxRows int) error {
+	row := make([]byte, rowSize)
+	out := 0
+	for i := 0; i < t.slots && out < maxRows; i++ {
+		used, k, v, err := t.slot(i)
+		if err != nil {
+			return err
+		}
+		if used == 0 {
+			continue
+		}
+		binary.BigEndian.PutUint32(row[:4], k)
+		binary.BigEndian.PutUint32(row[4:], v)
+		now, err := dst.WriteAt(t.ctx.Now(), int64(out*rowSize), row)
+		if err != nil {
+			return err
+		}
+		t.ctx.Wait(now)
+		out++
+	}
+	return nil
+}

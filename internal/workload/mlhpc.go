@@ -1,0 +1,343 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"repro/internal/dataflow"
+	"repro/internal/props"
+)
+
+// MLConfig scales the Table 3 ML/AI row — a Cachew-style input pipeline:
+// preprocess on CPUs, cache transformed samples in Global Scratch, dispatch
+// training tasks on accelerators whose state lives in Private Scratch and
+// whose worker bookkeeping lives in Global State.
+type MLConfig struct {
+	Samples    int // training samples
+	SampleSize int // bytes per sample
+	Features   int // model weights
+	Epochs     int
+}
+
+// DefaultML returns the configuration used by tests and benches.
+func DefaultML() MLConfig {
+	return MLConfig{Samples: 128, SampleSize: 512, Features: 64, Epochs: 2}
+}
+
+// ML builds the job.
+func ML(cfg MLConfig) *dataflow.Job {
+	if cfg.Samples <= 0 {
+		cfg = DefaultML()
+	}
+	cacheBytes := int64(cfg.Samples * cfg.SampleSize)
+	j := dataflow.NewJob("ml-pipeline")
+
+	ingest := j.Task("ingest", dataflow.Props{
+		Compute: dataflow.OnCPU, Ops: float64(cfg.Samples * cfg.SampleSize),
+		OutputBytes: cacheBytes,
+	}, func(ctx dataflow.Ctx) error {
+		out, err := ctx.Output(cacheBytes)
+		if err != nil {
+			return err
+		}
+		sample := make([]byte, cfg.SampleSize)
+		for s := 0; s < cfg.Samples; s++ {
+			synthesizeFrame(sample, s) // deterministic raw sample
+			now, err := out.WriteAt(ctx.Now(), int64(s*cfg.SampleSize), sample)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		ctx.Log("ingested %d samples", cfg.Samples)
+		return nil
+	})
+
+	preprocess := j.Task("preprocess", dataflow.Props{
+		Compute: dataflow.OnCPU, Ops: float64(cfg.Samples*cfg.SampleSize) * 3,
+		OutputBytes: 8,
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// Transformed data goes into the shared cache (Global Scratch),
+		// exactly Cachew's "cached transformed data".
+		cache, err := ctx.Global("sample-cache", props.GlobalScratch, cacheBytes)
+		if err != nil {
+			return err
+		}
+		sample := make([]byte, cfg.SampleSize)
+		for s := 0; s < cfg.Samples; s++ {
+			now, err := in.ReadAt(ctx.Now(), int64(s*cfg.SampleSize), sample)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			for i := range sample { // feature scaling
+				sample[i] = sample[i]/2 + 16
+			}
+			f := cache.WriteAsync(ctx.Now(), int64(s*cfg.SampleSize), sample)
+			now, err = f.Await(ctx.Now())
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		// Tell the dispatcher how many samples are ready (Global State).
+		state, err := ctx.Global("worker-state", props.GlobalState, 64)
+		if err != nil {
+			return err
+		}
+		cnt := make([]byte, 8)
+		binary.BigEndian.PutUint64(cnt, uint64(cfg.Samples))
+		now, err := state.WriteAt(ctx.Now(), 0, cnt)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("cached %d transformed samples", cfg.Samples)
+		return nil
+	})
+
+	train := j.Task("train", dataflow.Props{
+		Compute: dataflow.OnTPU, Ops: float64(cfg.Samples*cfg.Features*cfg.Epochs) * 4,
+		OutputBytes: int64(cfg.Features * 4),
+	}, func(ctx dataflow.Ctx) error {
+		// Model state on the accelerator: Private Scratch.
+		weights, err := ctx.Scratch("weights", int64(cfg.Features*4))
+		if err != nil {
+			return err
+		}
+		cache, err := ctx.Global("sample-cache", props.GlobalScratch, cacheBytes)
+		if err != nil {
+			return err
+		}
+		state, err := ctx.Global("worker-state", props.GlobalState, 64)
+		if err != nil {
+			return err
+		}
+		cnt := make([]byte, 8)
+		now, err := state.ReadAt(ctx.Now(), 0, cnt)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		samples := int(binary.BigEndian.Uint64(cnt))
+		if samples > cfg.Samples {
+			samples = cfg.Samples
+		}
+		w := make([]uint32, cfg.Features)
+		sample := make([]byte, cfg.SampleSize)
+		for e := 0; e < cfg.Epochs; e++ {
+			for s := 0; s < samples; s++ {
+				// Async prefetch hides the cache latency behind the
+				// gradient computation of the previous sample.
+				f := cache.ReadAsync(ctx.Now(), int64(s*cfg.SampleSize), sample)
+				ctx.Charge(float64(cfg.Features) * 8) // gradient math
+				now, err := f.Await(ctx.Now())
+				if err != nil {
+					return err
+				}
+				ctx.Wait(now)
+				for i := 0; i < cfg.Features; i++ {
+					w[i] += uint32(sample[i%len(sample)])
+				}
+			}
+		}
+		buf := make([]byte, 4)
+		for i, v := range w {
+			binary.BigEndian.PutUint32(buf, v)
+			now, err := weights.WriteAt(ctx.Now(), int64(i*4), buf)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		// Materialize the trained weights as the job output (the paper's
+		// "materialization of output data" pattern).
+		out, err := ctx.Output(int64(cfg.Features * 4))
+		if err != nil {
+			return err
+		}
+		all := make([]byte, cfg.Features*4)
+		now, err = weights.ReadAt(ctx.Now(), 0, all)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		now, err = out.WriteAt(ctx.Now(), 0, all)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("trained %d weights over %d epochs", cfg.Features, cfg.Epochs)
+		return nil
+	})
+
+	ingest.Then(preprocess)
+	preprocess.Then(train)
+	return j
+}
+
+// HPCConfig scales the Table 3 HPC row: an iterative 2-D Jacobi stencil.
+// Node-local working memory is Private Scratch; job metadata is Global
+// State; the final field is blob-published to Global Scratch.
+type HPCConfig struct {
+	Grid   int // grid side length
+	Sweeps int
+}
+
+// DefaultHPC returns the configuration used by tests and benches.
+func DefaultHPC() HPCConfig { return HPCConfig{Grid: 32, Sweeps: 4} }
+
+// HPC builds the job.
+func HPC(cfg HPCConfig) *dataflow.Job {
+	if cfg.Grid <= 0 {
+		cfg = DefaultHPC()
+	}
+	gridBytes := int64(cfg.Grid * cfg.Grid)
+	j := dataflow.NewJob("hpc-stencil")
+
+	initTask := j.Task("init", dataflow.Props{
+		Compute: dataflow.OnCPU, Ops: float64(gridBytes), OutputBytes: gridBytes,
+	}, func(ctx dataflow.Ctx) error {
+		out, err := ctx.Output(gridBytes)
+		if err != nil {
+			return err
+		}
+		row := make([]byte, cfg.Grid)
+		for y := 0; y < cfg.Grid; y++ {
+			for x := range row {
+				if y == 0 {
+					row[x] = 255 // hot boundary
+				} else {
+					row[x] = 0
+				}
+			}
+			now, err := out.WriteAt(ctx.Now(), int64(y*cfg.Grid), row)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		return nil
+	})
+
+	relax := j.Task("relax", dataflow.Props{
+		Compute: dataflow.OnCPU, MemLatency: props.LatencyLow,
+		Ops: float64(gridBytes) * float64(cfg.Sweeps) * 5, OutputBytes: gridBytes,
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// Double-buffered working set in node-local Private Scratch.
+		cur, err := ctx.Scratch("grid-a", gridBytes)
+		if err != nil {
+			return err
+		}
+		nxt, err := ctx.Scratch("grid-b", gridBytes)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, gridBytes)
+		now, err := in.ReadAt(ctx.Now(), 0, buf)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		now, err = cur.WriteAt(ctx.Now(), 0, buf)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+
+		g := cfg.Grid
+		a := make([]byte, gridBytes)
+		b := make([]byte, gridBytes)
+		now, err = cur.ReadAt(ctx.Now(), 0, a)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		for s := 0; s < cfg.Sweeps; s++ {
+			for y := 1; y < g-1; y++ {
+				for x := 1; x < g-1; x++ {
+					i := y*g + x
+					b[i] = byte((int(a[i-1]) + int(a[i+1]) + int(a[i-g]) + int(a[i+g])) / 4)
+				}
+			}
+			// Persist the sweep through the scratch region (paying its
+			// placement's cost), then swap buffers.
+			now, err = nxt.WriteAt(ctx.Now(), 0, b)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			a, b = b, a
+			cur, nxt = nxt, cur
+		}
+		// Progress heartbeat in Global State.
+		meta, err := ctx.Global("job-meta", props.GlobalState, 64)
+		if err != nil {
+			return err
+		}
+		hb := make([]byte, 8)
+		binary.BigEndian.PutUint64(hb, uint64(cfg.Sweeps))
+		now, err = meta.WriteAt(ctx.Now(), 0, hb)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+
+		out, err := ctx.Output(gridBytes)
+		if err != nil {
+			return err
+		}
+		now, err = out.WriteAt(ctx.Now(), 0, a)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("relaxed %d sweeps on %dx%d grid", cfg.Sweeps, g, g)
+		return nil
+	})
+
+	publish := j.Task("publish", dataflow.Props{
+		Compute: dataflow.OnCPU, Ops: float64(gridBytes), OutputBytes: 8,
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// Blob-store the result field (Global Scratch's object/blob row).
+		blob, err := ctx.Global("result-field", props.GlobalScratch, gridBytes)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, gridBytes)
+		now, err := in.ReadAt(ctx.Now(), 0, buf)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		f := blob.WriteAsync(ctx.Now(), 0, buf)
+		now, err = f.Await(ctx.Now())
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		var checksum uint64
+		for _, v := range buf {
+			checksum += uint64(v)
+		}
+		out, err := ctx.Output(8)
+		if err != nil {
+			return err
+		}
+		sum := make([]byte, 8)
+		binary.BigEndian.PutUint64(sum, checksum)
+		now, err = out.WriteAt(ctx.Now(), 0, sum)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("published field, checksum %d", checksum)
+		return nil
+	})
+
+	initTask.Then(relax)
+	relax.Then(publish)
+	return j
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"repro/internal/dataflow"
+	"repro/internal/props"
+)
+
+// StreamingConfig scales the Table 3 streaming row: a windowed event
+// aggregation. Send/receive buffers are Private Scratch; cluster/worker
+// state is Global State; the rolling result cache is Global Scratch.
+type StreamingConfig struct {
+	Events     int // events in the replayed stream
+	EventSize  int // bytes per event
+	WindowSize int // events per tumbling window
+	Keys       int // distinct event keys
+}
+
+// DefaultStreaming returns the configuration used by tests and benches.
+func DefaultStreaming() StreamingConfig {
+	return StreamingConfig{Events: 512, EventSize: 64, WindowSize: 64, Keys: 16}
+}
+
+// Streaming builds the job: source → parse → window-aggregate → sink.
+func Streaming(cfg StreamingConfig) *dataflow.Job {
+	if cfg.Events <= 0 {
+		cfg = DefaultStreaming()
+	}
+	streamBytes := int64(cfg.Events * cfg.EventSize)
+	windows := (cfg.Events + cfg.WindowSize - 1) / cfg.WindowSize
+	j := dataflow.NewJob("streaming")
+
+	source := j.Task("source", dataflow.Props{
+		Compute: dataflow.OnCPU, Ops: float64(cfg.Events) * 100, OutputBytes: streamBytes,
+	}, func(ctx dataflow.Ctx) error {
+		// Receive buffer: Private Scratch ("cache/buffer (send, recv.)").
+		recv, err := ctx.Scratch("recv-buffer", int64(cfg.EventSize*16))
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Output(streamBytes)
+		if err != nil {
+			return err
+		}
+		ev := make([]byte, cfg.EventSize)
+		for e := 0; e < cfg.Events; e++ {
+			synthesizeFrame(ev, e)
+			binary.BigEndian.PutUint32(ev[:4], uint32(e)%uint32(cfg.Keys)) // event key
+			// Stage through the receive buffer like a real socket read.
+			slot := int64(e%16) * int64(cfg.EventSize)
+			now, err := recv.WriteAt(ctx.Now(), slot, ev)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			now, err = out.WriteAt(ctx.Now(), int64(e*cfg.EventSize), ev)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		ctx.Log("replayed %d events", cfg.Events)
+		return nil
+	})
+
+	aggregate := j.Task("window-aggregate", dataflow.Props{
+		Compute: dataflow.OnCPU, MemLatency: props.LatencyLow,
+		Ops: float64(cfg.Events) * 300, OutputBytes: int64(windows * 8),
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// Worker liveness/state: Global State.
+		worker, err := ctx.Global("cluster-state", props.GlobalState, 128)
+		if err != nil {
+			return err
+		}
+		hb := make([]byte, 8)
+		binary.BigEndian.PutUint64(hb, 1) // mark worker alive
+		now, err := worker.WriteAt(ctx.Now(), 0, hb)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+
+		out, err := ctx.Output(int64(windows * 8))
+		if err != nil {
+			return err
+		}
+		ev := make([]byte, cfg.EventSize)
+		agg := make([]byte, 8)
+		for w := 0; w < windows; w++ {
+			var count, keySum uint32
+			for i := 0; i < cfg.WindowSize; i++ {
+				e := w*cfg.WindowSize + i
+				if e >= cfg.Events {
+					break
+				}
+				now, err := in.ReadAt(ctx.Now(), int64(e*cfg.EventSize), ev)
+				if err != nil {
+					return err
+				}
+				ctx.Wait(now)
+				count++
+				keySum += binary.BigEndian.Uint32(ev[:4])
+			}
+			binary.BigEndian.PutUint32(agg[:4], count)
+			binary.BigEndian.PutUint32(agg[4:], keySum)
+			now, err := out.WriteAt(ctx.Now(), int64(w*8), agg)
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+		}
+		ctx.Log("aggregated %d windows", windows)
+		return nil
+	})
+
+	sink := j.Task("sink", dataflow.Props{
+		Compute: dataflow.OnCPU, Ops: float64(windows) * 200, OutputBytes: 8,
+	}, func(ctx dataflow.Ctx) error {
+		in := ctx.Inputs()[0]
+		// Rolling results cache: Global Scratch.
+		cache, err := ctx.Global("result-cache", props.GlobalScratch, int64(windows*8))
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, windows*8)
+		now, err := in.ReadAt(ctx.Now(), 0, buf)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		f := cache.WriteAsync(ctx.Now(), 0, buf)
+		now, err = f.Await(ctx.Now())
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		var total uint64
+		for w := 0; w < windows; w++ {
+			total += uint64(binary.BigEndian.Uint32(buf[w*8:]))
+		}
+		out, err := ctx.Output(8)
+		if err != nil {
+			return err
+		}
+		res := make([]byte, 8)
+		binary.BigEndian.PutUint64(res, total)
+		now, err = out.WriteAt(ctx.Now(), 0, res)
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		ctx.Log("sank %d windows totalling %d events", windows, total)
+		return nil
+	})
+
+	source.Then(aggregate)
+	aggregate.Then(sink)
+	return j
+}
