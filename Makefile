@@ -1,0 +1,31 @@
+# Standard local CI for the repository. `make` runs the full gate.
+
+GO ?= go
+
+.PHONY: all build vet test race bench serve clean
+
+all: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive layers under the race detector: the serving
+# engine (core.Server, epochs) and the region manager.
+race:
+	$(GO) test -race ./internal/core/... ./internal/region/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Smoke-run the admission-controlled serving mode.
+serve:
+	$(GO) run ./cmd/disaggsim -serve -jobs 16 -workers 4
+
+clean:
+	$(GO) clean ./...

@@ -10,9 +10,12 @@ package repro
 // percentages, overhead factors).
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/paper"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 // benchArtifact regenerates one artifact per iteration and exports selected
@@ -182,4 +185,39 @@ func BenchmarkTable1Sweep(b *testing.B) {
 		"far_vs_dram_small": "x-at-64B",
 		"far_vs_dram_large": "x-at-64MiB",
 	})
+}
+
+// BenchmarkServeConcurrent drives core.Server from parallel goroutines —
+// the serving path under concurrent submission load. Every job must be
+// admitted and completed; jobs/epoch reports how much batching the worker
+// pool achieved.
+func BenchmarkServeConcurrent(b *testing.B) {
+	srv, err := NewServer(ServerConfig{Workers: 4, MaxBatch: 8, QueueDepth: 256, Block: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := srv.Submit(context.Background(), workload.DBMS(workload.DefaultDBMS())); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+	if err := srv.Close(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	tel := srv.Runtime().Telemetry()
+	admitted := tel.Counter(telemetry.LayerRuntime, "server_admitted")
+	completed := tel.Counter(telemetry.LayerRuntime, "server_completed")
+	epochs := tel.Counter(telemetry.LayerRuntime, "server_epochs")
+	if admitted != int64(b.N) || completed != int64(b.N) {
+		b.Fatalf("admitted %d, completed %d, want %d each", admitted, completed, b.N)
+	}
+	if live := srv.Runtime().Regions().Live(); live != 0 {
+		b.Fatalf("leaked %d regions", live)
+	}
+	if epochs > 0 {
+		b.ReportMetric(float64(completed)/float64(epochs), "jobs/epoch")
+	}
 }

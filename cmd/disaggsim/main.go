@@ -9,17 +9,28 @@
 //	disaggsim -job dbms -scheduler fifo -placer worst
 //	disaggsim -job ml -profile
 //	disaggsim -jobs hospital,dbms,streaming     # concurrent multi-job serving
+//	disaggsim -serve -jobs 32 -workers 8        # admission-controlled serving
+//	disaggsim -serve -jobs hospital,dbms,ml     # serve an explicit job mix
 //
 // Jobs: hospital, dbms, ml, hpc, streaming, graph.
 // Schedulers: heft (default), fifo, rr.
 // Placers: best (default), first, worst, random.
+//
+// With -serve, the listed jobs (or N copies of -job when -jobs is a plain
+// number) are submitted from parallel goroutines through core.Server's
+// bounded admission queue and executed by a worker pool that batches them
+// into shared virtual-time epochs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -39,6 +50,10 @@ func main() {
 	profile := flag.Bool("profile", false, "print the cross-layer telemetry profile")
 	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file")
 	seed := flag.Int64("seed", 1, "seed for the random placer")
+	serve := flag.Bool("serve", false, "submit jobs through the admission-controlled server (see -jobs, -workers)")
+	workers := flag.Int("workers", 4, "serve mode: epoch workers in the pool")
+	queueDepth := flag.Int("queue", 64, "serve mode: admission queue depth")
+	maxBatch := flag.Int("batch", 8, "serve mode: max jobs folded into one shared epoch")
 	flag.Parse()
 
 	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
@@ -99,6 +114,18 @@ func main() {
 		fatal(err)
 	}
 
+	if *serve {
+		if err := serveJobs(rt, tel, buildJob, *jobName, *jobList, *workers, *queueDepth, *maxBatch); err != nil {
+			fatal(err)
+		}
+		if *profile {
+			fmt.Println()
+			fmt.Print(tel.Report())
+		}
+		writeTrace(tel, *traceOut)
+		return
+	}
+
 	if *jobList != "" {
 		var jobs []*dataflow.Job
 		for _, name := range strings.Split(*jobList, ",") {
@@ -157,6 +184,78 @@ func main() {
 		fmt.Print(tel.Report())
 	}
 	writeTrace(tel, *traceOut)
+}
+
+// serveJobs drives core.Server from parallel goroutines: -jobs is either a
+// plain number (that many copies of -job) or a comma-separated mix.
+func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) (*dataflow.Job, error), jobName, jobList string, workers, queueDepth, maxBatch int) error {
+	var names []string
+	if n, err := strconv.Atoi(strings.TrimSpace(jobList)); err == nil && n > 0 {
+		for i := 0; i < n; i++ {
+			names = append(names, jobName)
+		}
+	} else if jobList != "" {
+		for _, name := range strings.Split(jobList, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	} else {
+		for i := 0; i < 8; i++ {
+			names = append(names, jobName)
+		}
+	}
+	jobs := make([]*dataflow.Job, len(names))
+	for i, name := range names {
+		j, err := buildJob(name)
+		if err != nil {
+			return err
+		}
+		jobs[i] = j
+	}
+
+	srv, err := core.NewServer(core.ServerConfig{
+		Runtime: rt, Workers: workers, QueueDepth: queueDepth,
+		MaxBatch: maxBatch, Block: true,
+	})
+	if err != nil {
+		return err
+	}
+	type outcome struct {
+		rep *core.Report
+		err error
+	}
+	results := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *dataflow.Job) {
+			defer wg.Done()
+			rep, err := srv.Submit(context.Background(), j)
+			results[i] = outcome{rep, err}
+		}(i, j)
+	}
+	wg.Wait()
+	if err := srv.Close(context.Background()); err != nil {
+		return err
+	}
+
+	fmt.Printf("served %d jobs across %d workers (queue %d, batch %d)\n",
+		len(jobs), workers, queueDepth, maxBatch)
+	for i, out := range results {
+		if out.err != nil {
+			fmt.Printf("  %-16s #%-3d FAILED: %v\n", names[i], i, out.err)
+			continue
+		}
+		fmt.Printf("  %-16s #%-3d makespan %12v\n", names[i], i, out.rep.Makespan)
+	}
+	fmt.Printf("admission: admitted %d, completed %d, rejected %d, canceled %d, failed %d, epochs %d, queue wait %v\n",
+		tel.Counter(telemetry.LayerRuntime, "server_admitted"),
+		tel.Counter(telemetry.LayerRuntime, "server_completed"),
+		tel.Counter(telemetry.LayerRuntime, "server_rejected"),
+		tel.Counter(telemetry.LayerRuntime, "server_canceled"),
+		tel.Counter(telemetry.LayerRuntime, "server_failed"),
+		tel.Counter(telemetry.LayerRuntime, "server_epochs"),
+		time.Duration(tel.Counter(telemetry.LayerRuntime, "server_queue_wait_ns")))
+	return nil
 }
 
 func writeTrace(tel *telemetry.Registry, path string) {

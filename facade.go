@@ -87,6 +87,12 @@ type (
 	MultiConfig = core.MultiConfig
 	// Checkpointer persists task outputs for RunWithRecovery.
 	Checkpointer = core.Checkpointer
+	// Server is the concurrent job-submission engine: bounded admission
+	// queue, worker pool batching jobs into shared virtual-time epochs,
+	// per-job cancellation, graceful drain.
+	Server = core.Server
+	// ServerConfig assembles a Server; zero values get serving defaults.
+	ServerConfig = core.ServerConfig
 	// Topology is the simulated hardware graph.
 	Topology = topology.Topology
 	// Telemetry is the cross-layer metrics registry.
@@ -100,6 +106,17 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return core.New(cfg) }
 
 // NewCheckpointer wraps a fault-tolerant store for RunWithRecovery.
 var NewCheckpointer = core.NewCheckpointer
+
+// NewServer builds and starts a concurrent job-submission engine.
+var NewServer = core.NewServer
+
+// Serving-layer errors.
+var (
+	// ErrQueueFull reports a rejected submission (non-blocking admission).
+	ErrQueueFull = core.ErrQueueFull
+	// ErrServerClosed reports a submission after Close.
+	ErrServerClosed = core.ErrServerClosed
+)
 
 // Testbeds.
 var (

@@ -4,6 +4,8 @@ package repro_test
 // downstream user needs is reachable through the root package alone.
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro"
@@ -93,5 +95,29 @@ func TestFacadeConstantsAreTheRealOnes(t *testing.T) {
 	}
 	if repro.OnGPU.String() != "GPU" {
 		t.Error("device preferences must alias the internal ones")
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	// The serving engine is fully drivable through the facade alone.
+	srv, err := repro.NewServer(repro.ServerConfig{Workers: 2, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := repro.NewJob("facade-serve")
+	job.Task("t", repro.TaskProps{Ops: 1e6, OutputBytes: 1 << 12}, nil).
+		Then(job.Task("u", repro.TaskProps{Ops: 1e6}, nil))
+	rep, err := srv.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 {
+		t.Error("served makespan must be positive")
+	}
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), job); !errors.Is(err, repro.ErrServerClosed) {
+		t.Errorf("err = %v, want repro.ErrServerClosed", err)
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
-	"repro/internal/region"
 	"repro/internal/sched"
 	"repro/internal/topology"
 )
@@ -68,6 +67,48 @@ type MultiConfig struct {
 	ComputeStretch bool
 }
 
+// newLoad builds an empty per-device core-availability estimate.
+func (rt *Runtime) newLoad() map[string][]time.Duration {
+	load := make(map[string][]time.Duration)
+	for _, c := range rt.topo.Computes() {
+		load[c.ID] = make([]time.Duration, c.Cores)
+	}
+	return load
+}
+
+// scheduleInto plans one job against the accumulating load of previously
+// admitted jobs, folding the new plan back into load — how the runtime
+// packs concurrently submitted jobs across the cluster. A load-aware
+// scheduler is used when available.
+func (rt *Runtime) scheduleInto(j *dataflow.Job, load map[string][]time.Duration) (*sched.Schedule, error) {
+	loadAware, _ := rt.sched.(interface {
+		ScheduleLoaded(*dataflow.Job, *topology.Topology, map[string][]time.Duration) (*sched.Schedule, error)
+	})
+	var schedule *sched.Schedule
+	var err error
+	if loadAware != nil {
+		schedule, err = loadAware.ScheduleLoaded(j, rt.topo, load)
+	} else {
+		schedule, err = rt.sched.Schedule(j, rt.topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range schedule.Assignments {
+		cores := load[a.Compute]
+		idx := 0
+		for i := range cores {
+			if cores[i] < cores[idx] {
+				idx = i
+			}
+		}
+		if a.Finish > cores[idx] {
+			cores[idx] = a.Finish
+		}
+	}
+	return schedule, nil
+}
+
 // RunAll executes several jobs concurrently on this runtime's shared
 // topology. Job names must be unique (they namespace region owners and
 // job-level globals).
@@ -89,63 +130,25 @@ func (rt *Runtime) RunAll(jobs []*dataflow.Job, cfg MultiConfig) (*MultiReport, 
 		}
 	}
 
-	rt.topo.ResetQueues() // one fresh epoch shared by every job below
+	// One fresh virtual-time epoch shared by every job below — contention
+	// between the jobs is the point; isolation from *other* batches and
+	// concurrent Runs comes from the epoch being private to this call.
+	epoch := rt.topo.NewEpoch()
 	// Shared core availability across all jobs.
 	cores := make(map[string][]time.Duration)
 	for _, c := range rt.topo.Computes() {
 		cores[c.ID] = make([]time.Duration, c.Cores)
 	}
 
-	// Jobs are scheduled in submission order against the *accumulating*
-	// load of previously admitted jobs, so the scheduler spreads them
-	// across the cluster (a load-aware scheduler is used when available);
-	// execution then shares the real core state.
-	loadAware, _ := rt.sched.(interface {
-		ScheduleLoaded(*dataflow.Job, *topology.Topology, map[string][]time.Duration) (*sched.Schedule, error)
-	})
-	load := make(map[string][]time.Duration)
-	for _, c := range rt.topo.Computes() {
-		load[c.ID] = make([]time.Duration, c.Cores)
-	}
+	load := rt.newLoad()
 	runs := make([]*run, 0, len(jobs))
 	orders := make([][]*dataflow.Task, 0, len(jobs))
 	for _, j := range jobs {
-		var schedule *sched.Schedule
-		var err error
-		if loadAware != nil {
-			schedule, err = loadAware.ScheduleLoaded(j, rt.topo, load)
-		} else {
-			schedule, err = rt.sched.Schedule(j, rt.topo)
-		}
+		schedule, err := rt.scheduleInto(j, load)
 		if err != nil {
 			return nil, fmt.Errorf("core: scheduling %s: %w", j.Name(), err)
 		}
-		// Fold the new plan into the load estimate.
-		for _, a := range schedule.Assignments {
-			cores := load[a.Compute]
-			idx := 0
-			for i := range cores {
-				if cores[i] < cores[idx] {
-					idx = i
-				}
-			}
-			if a.Finish > cores[idx] {
-				cores[idx] = a.Finish
-			}
-		}
-		r := &run{
-			rt: rt, job: j, schedule: schedule,
-			cores:   cores, // shared!
-			finish:  make(map[string]time.Duration),
-			pending: make(map[string]map[string]*region.Handle),
-			globals: make(map[string]*globalEntry),
-			peak:    make(map[string]int64),
-			report: &Report{
-				Job: j.Name(), Scheduler: rt.sched.Name(), Placer: rt.placer.Name(),
-				Tasks:        make(map[string]*TaskReport),
-				FinalOutputs: make(map[string]string),
-			},
-		}
+		r := rt.newRun(j, schedule, epoch, j.Name(), cores)
 		order, err := j.TopoOrder()
 		if err != nil {
 			return nil, err

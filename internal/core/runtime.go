@@ -43,8 +43,10 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// Runtime is the RTS instance. It is safe for sequential job submission;
-// one Run executes one job to completion on the virtual clock.
+// Runtime is the RTS instance. Run is safe for concurrent submission from
+// multiple goroutines: each call executes in its own virtual-time epoch
+// (fresh device queues), so jobs never corrupt each other's clocks. For
+// admission control, batching, and backpressure on top of this, use Server.
 type Runtime struct {
 	topo    *topology.Topology
 	placer  region.Placer
@@ -124,7 +126,15 @@ func (r *Report) String() string {
 	for id := range r.Tasks {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return r.Tasks[ids[a]].Start < r.Tasks[ids[b]].Start })
+	// Stable order with an ID tie-break: map iteration seeds ids randomly,
+	// so sorting on Start alone renders same-start tasks nondeterministically.
+	sort.SliceStable(ids, func(a, b int) bool {
+		ta, tb := r.Tasks[ids[a]], r.Tasks[ids[b]]
+		if ta.Start != tb.Start {
+			return ta.Start < tb.Start
+		}
+		return ids[a] < ids[b]
+	})
 	for _, id := range ids {
 		t := r.Tasks[id]
 		fmt.Fprintf(&b, "  %-22s on %-14s %12v → %12v\n", t.Task, t.Compute, t.Start, t.Finish)
@@ -155,8 +165,16 @@ type run struct {
 	rt       *Runtime
 	job      *dataflow.Job
 	schedule *sched.Schedule
-	cores    map[string][]time.Duration
-	finish   map[string]time.Duration
+	// epoch is the virtual-time view this run's accesses queue against.
+	// Runs in different epochs are fully isolated; runs sharing one epoch
+	// (RunAll, Server batches) contend on the same device queues.
+	epoch *topology.Epoch
+	// ns namespaces region owners. Defaults to the job name; the Server
+	// makes it unique per submission so identical jobs can run in one
+	// shared epoch without their owners colliding.
+	ns     string
+	cores  map[string][]time.Duration
+	finish map[string]time.Duration
 	// pending maps consumer task → producer task → delivered handle.
 	pending map[string]map[string]*region.Handle
 	globals map[string]*globalEntry
@@ -177,33 +195,16 @@ func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer) (*Report, error)
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
-	// Each run is a fresh virtual-time epoch: device service queues drain
-	// in the wall-clock gap between job submissions. (RunAll shares one
-	// epoch across its jobs — that is where contention is the point.)
-	rt.topo.ResetQueues()
+	// Each run gets a fresh virtual-time epoch: device service queues start
+	// drained and never touch the shared topology, so concurrent Runs are
+	// isolated. (RunAll and Server batches share one epoch across their
+	// jobs — that is where contention is the point.)
 	schedule, err := rt.sched.Schedule(job, rt.topo)
 	if err != nil {
 		return nil, err
 	}
-	r := &run{
-		rt:       rt,
-		job:      job,
-		schedule: schedule,
-		ck:       ck,
-		cores:    make(map[string][]time.Duration),
-		finish:   make(map[string]time.Duration),
-		pending:  make(map[string]map[string]*region.Handle),
-		globals:  make(map[string]*globalEntry),
-		peak:     make(map[string]int64),
-		report: &Report{
-			Job: job.Name(), Scheduler: rt.sched.Name(), Placer: rt.placer.Name(),
-			Tasks:        make(map[string]*TaskReport),
-			FinalOutputs: make(map[string]string),
-		},
-	}
-	for _, c := range rt.topo.Computes() {
-		r.cores[c.ID] = make([]time.Duration, c.Cores)
-	}
+	r := rt.newRun(job, schedule, rt.topo.NewEpoch(), job.Name(), nil)
+	r.ck = ck
 	order, err := job.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -222,6 +223,35 @@ func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer) (*Report, error)
 		}
 	}
 	return r.report, nil
+}
+
+// newRun assembles per-job execution state. cores may be shared between
+// runs (RunAll, Server batches); nil gets this run its own fresh core
+// availability. ns namespaces region owners (see run.ns).
+func (rt *Runtime) newRun(job *dataflow.Job, schedule *sched.Schedule, epoch *topology.Epoch, ns string, cores map[string][]time.Duration) *run {
+	if cores == nil {
+		cores = make(map[string][]time.Duration)
+		for _, c := range rt.topo.Computes() {
+			cores[c.ID] = make([]time.Duration, c.Cores)
+		}
+	}
+	return &run{
+		rt:       rt,
+		job:      job,
+		schedule: schedule,
+		epoch:    epoch,
+		ns:       ns,
+		cores:    cores,
+		finish:   make(map[string]time.Duration),
+		pending:  make(map[string]map[string]*region.Handle),
+		globals:  make(map[string]*globalEntry),
+		peak:     make(map[string]int64),
+		report: &Report{
+			Job: job.Name(), Scheduler: rt.sched.Name(), Placer: rt.placer.Name(),
+			Tasks:        make(map[string]*TaskReport),
+			FinalOutputs: make(map[string]string),
+		},
+	}
 }
 
 // samplePeak records per-device high-water allocation.
@@ -266,7 +296,7 @@ func (r *run) execTask(t *dataflow.Task) error {
 	ctx := &taskCtx{
 		run: r, task: t, compute: comp,
 		now:     start,
-		owner:   region.Owner(r.job.Name() + "/" + t.ID()),
+		owner:   region.Owner(r.ns + "/" + t.ID()),
 		regions: make(map[string]string),
 	}
 	// Recovery fast path: a checkpointed task is restored, not re-run.
@@ -329,13 +359,24 @@ func (r *run) execTask(t *dataflow.Task) error {
 	// Scratch dies with the task; inputs were consumed.
 	ctx.releaseScratchAndInputs()
 	// Release this task's shares of globals (the job-level owner keeps
-	// them alive until the job ends).
-	for name, h := range ctx.globalShares {
-		if err := h.Release(); err != nil {
-			return fmt.Errorf("releasing global %s: %w", name, err)
+	// them alive until the job ends). One failed release must not leak
+	// the remaining shares: release them all in deterministic order and
+	// aggregate the errors.
+	names := make([]string, 0, len(ctx.globalShares))
+	for name := range ctx.globalShares {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var relErrs []error
+	for _, name := range names {
+		if err := ctx.globalShares[name].Release(); err != nil {
+			relErrs = append(relErrs, fmt.Errorf("releasing global %s: %w", name, err))
 		}
 	}
 
+	// The task did run to completion: record its report and finish time
+	// even when a share release failed, so downstream accounting (makespan,
+	// spans, reports) stays consistent.
 	cores[coreIdx] = ctx.now
 	r.finish[t.ID()] = ctx.now
 	r.report.Tasks[t.ID()] = &TaskReport{
@@ -347,7 +388,7 @@ func (r *run) execTask(t *dataflow.Task) error {
 		Layer: telemetry.LayerRuntime, Job: r.job.Name(), Task: t.ID(),
 		Name: "exec", Start: start, End: ctx.now,
 	})
-	return nil
+	return errors.Join(relErrs...)
 }
 
 // deliverOutput routes a finished task's output region to its successors:
@@ -376,7 +417,7 @@ func (r *run) deliverOutput(ctx *taskCtx, t *dataflow.Task) error {
 	default:
 		for _, s := range succs {
 			sAsg := r.schedule.Assignments[s.ID()]
-			sh, err := ctx.output.Share(region.Owner(r.job.Name()+"/"+s.ID()+"/in"), sAsg.Compute)
+			sh, err := ctx.output.Share(region.Owner(r.ns+"/"+s.ID()+"/in"), sAsg.Compute)
 			if err != nil {
 				return fmt.Errorf("sharing output with %s: %w", s.ID(), err)
 			}

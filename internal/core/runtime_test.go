@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/placement"
 	"repro/internal/props"
+	"repro/internal/region"
 	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -382,5 +383,78 @@ func BenchmarkDBMSRun(b *testing.B) {
 		if _, err := rt.Run(workload.DBMS(cfg)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestReportStringDeterministicOnTies(t *testing.T) {
+	// Two tasks with identical Start times: map iteration order must not
+	// leak into the rendering — ties break on task ID.
+	rep := &Report{
+		Job: "tie", Scheduler: "heft", Placer: "best-fit", Makespan: 10,
+		Tasks: map[string]*TaskReport{
+			"zeta":  {Task: "zeta", Compute: "node0/cpu0", Start: 0, Finish: 5},
+			"alpha": {Task: "alpha", Compute: "node0/cpu0", Start: 0, Finish: 7},
+			"mid":   {Task: "mid", Compute: "node0/gpu0", Start: 3, Finish: 9},
+		},
+	}
+	first := rep.String()
+	for i := 0; i < 50; i++ {
+		if got := rep.String(); got != first {
+			t.Fatalf("rendering varies between calls:\n%s\nvs\n%s", first, got)
+		}
+	}
+	ia, iz, im := strings.Index(first, "alpha"), strings.Index(first, "zeta"), strings.Index(first, "mid")
+	if ia < 0 || iz < 0 || im < 0 {
+		t.Fatalf("missing tasks in rendering:\n%s", first)
+	}
+	if !(ia < iz && iz < im) {
+		t.Errorf("order must be alpha < zeta (ID tie-break) < mid (later start):\n%s", first)
+	}
+}
+
+func TestGlobalShareReleaseFailureDoesNotLeak(t *testing.T) {
+	// A task that releases its own global shares makes the runtime's
+	// end-of-task release fail. Every share must still be walked (no leaks),
+	// all failures aggregated, and the task recorded as executed.
+	rt := newRuntime(t)
+	j := dataflow.NewJob("self-release")
+	j.Task("t", dataflow.Props{Ops: 1e3}, func(ctx dataflow.Ctx) error {
+		ha, err := ctx.Global("alpha", props.GlobalScratch, 1<<16)
+		if err != nil {
+			return err
+		}
+		hb, err := ctx.Global("beta", props.GlobalScratch, 1<<16)
+		if err != nil {
+			return err
+		}
+		// Misbehaving body: drops the runtime-managed shares itself.
+		if err := ha.Release(); err != nil {
+			return err
+		}
+		return hb.Release()
+	})
+	_, err := rt.Run(j)
+	if err == nil {
+		t.Fatal("expected aggregated release errors")
+	}
+	if !strings.Contains(err.Error(), "releasing global alpha") ||
+		!strings.Contains(err.Error(), "releasing global beta") {
+		t.Errorf("error must name both failed releases, got: %v", err)
+	}
+	if !errors.Is(err, region.ErrNotOwner) {
+		t.Errorf("error must wrap region.ErrNotOwner, got: %v", err)
+	}
+	if live := rt.Regions().Live(); live != 0 {
+		t.Errorf("leaked %d regions", live)
+	}
+	// The task itself ran to completion and must have been recorded.
+	execSpans := 0
+	for _, sp := range rt.Telemetry().Spans() {
+		if sp.Name == "exec" && sp.Task == "t" {
+			execSpans++
+		}
+	}
+	if execSpans != 1 {
+		t.Errorf("exec spans for t = %d, want 1", execSpans)
 	}
 }

@@ -1,0 +1,375 @@
+package core
+
+// This file implements core.Server — the concurrent job-submission engine
+// the paper's deployment story implies (§2.1: "dataflow systems that serve
+// thousands of jobs in parallel"). Runtime.Run gives per-call epoch
+// isolation; Server adds what a multi-tenant front door needs on top:
+//
+//   - a bounded admission queue with configurable backpressure (fail fast
+//     with ErrQueueFull, or block until a slot frees),
+//   - a worker pool whose workers batch whatever is queued into shared
+//     virtual-time epochs (batched jobs contend on the same device queues,
+//     exactly like RunAll; separate batches are fully isolated),
+//   - per-job context cancellation and deadlines, honored while queued and
+//     between tasks during execution,
+//   - graceful drain on Close, and
+//   - per-job admission / queue-wait / rejection counters plus spans in the
+//     runtime's telemetry registry, so the serving path is observable.
+//
+// Within a batch, each submission gets a unique owner namespace, so many
+// tenants may submit jobs with the same name concurrently.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/telemetry"
+)
+
+// Errors reported by the serving layer.
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is full
+	// and the server was configured to reject rather than block.
+	ErrQueueFull = errors.New("core: server admission queue full")
+	// ErrServerClosed is returned by Submit after Close started draining.
+	ErrServerClosed = errors.New("core: server closed")
+)
+
+// ServerConfig assembles a Server. Zero fields get serving defaults.
+type ServerConfig struct {
+	// Runtime executes the admitted jobs. Nil builds a default runtime
+	// (reference testbed, best-fit placer, HEFT scheduler).
+	Runtime *Runtime
+	// QueueDepth bounds the admission queue (default 64). Submissions
+	// beyond the bound are rejected or block, per Block.
+	QueueDepth int
+	// Workers is the number of epoch workers serving the queue (default 4).
+	// Each worker runs one batch at a time; batches run concurrently.
+	Workers int
+	// MaxBatch caps how many queued jobs one worker folds into a shared
+	// virtual-time epoch (default 8). 1 disables batching: every job gets
+	// a private epoch.
+	MaxBatch int
+	// Block selects the backpressure policy: false (default) makes Submit
+	// fail fast with ErrQueueFull when the queue is full; true makes it
+	// block until a slot frees or the submission's context ends.
+	Block bool
+}
+
+// jobOutcome is what a worker delivers back to a waiting Submit.
+type jobOutcome struct {
+	report *Report
+	err    error
+}
+
+// jobTicket is one admitted submission.
+type jobTicket struct {
+	job      *dataflow.Job
+	ctx      context.Context
+	seq      uint64
+	enqueued time.Time
+	done     chan jobOutcome // buffered: workers never block on delivery
+}
+
+// Server is the admission-controlled serving engine. It is safe for
+// concurrent use by multiple goroutines.
+type Server struct {
+	rt       *Runtime
+	maxBatch int
+	block    bool
+
+	queue chan *jobTicket
+	wg    sync.WaitGroup
+	seq   atomic.Uint64
+
+	// gate serializes admission against Close: submissions hold the read
+	// side while enqueueing, Close takes the write side to flip closed, so
+	// the queue channel is only closed once no send can be in flight.
+	gate   sync.RWMutex
+	closed bool
+}
+
+// NewServer builds and starts a serving engine: its workers are live when
+// NewServer returns. Callers must Close it to drain.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	rt := cfg.Runtime
+	if rt == nil {
+		var err error
+		rt, err = New(Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 8
+	}
+	s := &Server{
+		rt:       rt,
+		maxBatch: maxBatch,
+		block:    cfg.Block,
+		queue:    make(chan *jobTicket, depth),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Runtime returns the runtime executing the admitted jobs.
+func (s *Server) Runtime() *Runtime { return s.rt }
+
+// Submit admits a job and blocks until its report is ready, admission is
+// refused (ErrQueueFull, ErrServerClosed), or ctx ends. A nil ctx means
+// context.Background(). Cancellation is honored at every stage: a job
+// canceled while queued is never executed; one canceled mid-run is stopped
+// at the next task boundary and its regions are released.
+func (s *Server) Submit(ctx context.Context, job *dataflow.Job) (*Report, error) {
+	if job == nil {
+		return nil, errors.New("core: nil job")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	t := &jobTicket{
+		job: job, ctx: ctx, seq: s.seq.Add(1),
+		enqueued: time.Now(), done: make(chan jobOutcome, 1),
+	}
+
+	s.gate.RLock()
+	if s.closed {
+		s.gate.RUnlock()
+		s.rt.tel.Add(telemetry.LayerRuntime, "server_rejected", 1)
+		return nil, ErrServerClosed
+	}
+	if s.block {
+		select {
+		case s.queue <- t:
+			s.gate.RUnlock()
+		case <-ctx.Done():
+			s.gate.RUnlock()
+			s.rt.tel.Add(telemetry.LayerRuntime, "server_rejected", 1)
+			return nil, ctx.Err()
+		}
+	} else {
+		select {
+		case s.queue <- t:
+			s.gate.RUnlock()
+		default:
+			s.gate.RUnlock()
+			s.rt.tel.Add(telemetry.LayerRuntime, "server_rejected", 1)
+			return nil, ErrQueueFull
+		}
+	}
+	s.rt.tel.Add(telemetry.LayerRuntime, "server_admitted", 1)
+
+	select {
+	case out := <-t.done:
+		return out.report, out.err
+	case <-ctx.Done():
+		// The worker notices the dead context at the next task boundary
+		// and cleans the run up; done is buffered, so nothing leaks.
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission and drains: already-admitted jobs run to
+// completion, then the workers exit. Returns ctx.Err() if ctx ends before
+// the drain finishes (the workers keep draining in the background). Safe to
+// call more than once; a nil ctx means context.Background().
+func (s *Server) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.gate.Lock()
+	already := s.closed
+	s.closed = true
+	s.gate.Unlock()
+	if !already {
+		close(s.queue) // no Submit can be mid-send once the gate flipped
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker serves batches until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		t, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.runBatch(s.collect(t))
+	}
+}
+
+// collect opportunistically folds whatever is already queued behind first
+// into one batch, up to MaxBatch — the batch shares one virtual-time epoch.
+func (s *Server) collect(first *jobTicket) []*jobTicket {
+	batch := []*jobTicket{first}
+	for len(batch) < s.maxBatch {
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, t)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// liveJob is one batch member's execution state.
+type liveJob struct {
+	t      *jobTicket
+	r      *run
+	order  []*dataflow.Task
+	cursor int
+}
+
+// runBatch executes one batch in a shared virtual-time epoch. Failures and
+// cancellations are isolated per job: the failing run's regions are
+// released and only its submitter sees the error.
+func (s *Server) runBatch(batch []*jobTicket) {
+	rt := s.rt
+	dequeued := time.Now()
+
+	// Queue-wait accounting; jobs whose context ended while queued are
+	// finished here without ever executing.
+	admitted := batch[:0]
+	for _, t := range batch {
+		rt.tel.Add(telemetry.LayerRuntime, "server_queue_wait_ns", dequeued.Sub(t.enqueued).Nanoseconds())
+		if err := t.ctx.Err(); err != nil {
+			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
+			t.done <- jobOutcome{err: err}
+			continue
+		}
+		admitted = append(admitted, t)
+	}
+	if len(admitted) == 0 {
+		return
+	}
+	rt.tel.Add(telemetry.LayerRuntime, "server_epochs", 1)
+
+	// Plan each job against the accumulating load of the batch; a
+	// scheduling failure only fails its own job.
+	epoch := rt.topo.NewEpoch()
+	cores := make(map[string][]time.Duration)
+	for _, c := range rt.topo.Computes() {
+		cores[c.ID] = make([]time.Duration, c.Cores)
+	}
+	load := rt.newLoad()
+	lives := make([]*liveJob, 0, len(admitted))
+	for _, t := range admitted {
+		schedule, err := rt.scheduleInto(t.job, load)
+		if err != nil {
+			s.fail(t, fmt.Errorf("core: scheduling %s: %w", t.job.Name(), err))
+			continue
+		}
+		order, err := t.job.TopoOrder()
+		if err != nil {
+			s.fail(t, err)
+			continue
+		}
+		// A unique owner namespace per submission lets identical jobs
+		// share the epoch without region-owner collisions.
+		ns := fmt.Sprintf("%s#%d", t.job.Name(), t.seq)
+		lives = append(lives, &liveJob{t: t, r: rt.newRun(t.job, schedule, epoch, ns, cores), order: order})
+	}
+
+	// Interleaved execution: always advance the job whose next task has
+	// the earliest scheduled start (fair, deterministic interleaving).
+	for {
+		best := -1
+		var bestStart time.Duration
+		for i, l := range lives {
+			if l == nil {
+				continue
+			}
+			if l.cursor >= len(l.order) {
+				s.complete(l)
+				lives[i] = nil
+				continue
+			}
+			start := l.r.schedule.Assignments[l.order[l.cursor].ID()].Start
+			if best < 0 || start < bestStart {
+				best, bestStart = i, start
+			}
+		}
+		if best < 0 {
+			break
+		}
+		l := lives[best]
+		if err := l.t.ctx.Err(); err != nil {
+			l.r.cleanup()
+			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
+			l.t.done <- jobOutcome{err: err}
+			lives[best] = nil
+			continue
+		}
+		task := l.order[l.cursor]
+		l.cursor++
+		if err := l.r.execTask(task); err != nil {
+			l.r.cleanup()
+			s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), task.ID(), err))
+			lives[best] = nil
+			continue
+		}
+		if l.cursor >= len(l.order) {
+			s.complete(l)
+			lives[best] = nil
+		}
+	}
+}
+
+// fail delivers an error outcome.
+func (s *Server) fail(t *jobTicket, err error) {
+	s.rt.tel.Add(telemetry.LayerRuntime, "server_failed", 1)
+	t.done <- jobOutcome{err: err}
+}
+
+// complete finalizes a finished run and delivers its report.
+func (s *Server) complete(l *liveJob) {
+	l.r.cleanup()
+	l.r.report.PeakDeviceBytes = l.r.peak
+	for _, tr := range l.r.report.Tasks {
+		if tr.Finish > l.r.report.Makespan {
+			l.r.report.Makespan = tr.Finish
+		}
+	}
+	s.rt.tel.Add(telemetry.LayerRuntime, "server_completed", 1)
+	s.rt.tel.Record(telemetry.Span{
+		Layer: telemetry.LayerRuntime, Job: l.t.job.Name(),
+		Name: "serve", Start: 0, End: l.r.report.Makespan,
+	})
+	l.t.done <- jobOutcome{report: l.r.report}
+}

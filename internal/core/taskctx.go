@@ -88,6 +88,7 @@ func (c *taskCtx) Scratch(name string, size int64) (*region.Handle, error) {
 	h, err := c.run.rt.regions.Alloc(region.Spec{
 		Name: name, Class: class, Size: size,
 		Req: req, Owner: c.owner, Compute: c.compute.ID, Now: c.now,
+		Epoch: c.run.epoch,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +117,7 @@ func (c *taskCtx) Output(size int64) (*region.Handle, error) {
 	h, err := c.run.rt.regions.Alloc(region.Spec{
 		Name: c.task.ID() + "/out", Class: class, Size: size,
 		Req: req, Owner: c.owner, Compute: c.compute.ID, Now: c.now,
+		Epoch: c.run.epoch,
 	})
 	if err != nil {
 		return nil, err
@@ -157,8 +159,8 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 			if dev, err := shared.PlaceShared(req, computes); err == nil {
 				h, err := c.run.rt.regions.Alloc(region.Spec{
 					Name: name, Class: class, Size: size,
-					Owner: region.Owner(c.run.job.Name()), Compute: c.pinCompute(dev),
-					Device: dev,
+					Owner: region.Owner(c.run.ns), Compute: c.pinCompute(dev),
+					Device: dev, Epoch: c.run.epoch,
 				})
 				if err == nil {
 					g = &globalEntry{handle: h, class: class, shared: map[string]*region.Handle{}}
@@ -168,7 +170,8 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 		if g == nil {
 			h, err := c.run.rt.regions.Alloc(region.Spec{
 				Name: name, Class: class, Size: size,
-				Owner: region.Owner(c.run.job.Name()), Compute: c.compute.ID,
+				Owner: region.Owner(c.run.ns), Compute: c.compute.ID,
+				Epoch: c.run.epoch,
 			})
 			if err != nil {
 				return nil, err

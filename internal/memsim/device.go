@@ -217,6 +217,32 @@ func (d *Device) Access(now time.Duration, size int64, kind AccessKind, pat Patt
 	}
 	done := start + svc
 	d.busyUntil = done
+	d.countLocked(size, kind)
+	d.mu.Unlock()
+	return done
+}
+
+// AccessQueued is Access against a caller-held service-queue state instead
+// of the device-global one: busyUntil is the queue drain time the caller
+// tracks (one per virtual-time epoch), and the advanced value is returned
+// alongside the completion time. Device counters still accumulate globally;
+// only *queue time* is epoch-local, which is what lets concurrent epochs
+// share a device without serializing against each other's virtual backlog.
+func (d *Device) AccessQueued(busyUntil, now time.Duration, size int64, kind AccessKind, pat Pattern) (done, newBusyUntil time.Duration) {
+	svc := d.ServiceTime(size, kind, pat)
+	start := now
+	if busyUntil > start {
+		start = busyUntil
+	}
+	done = start + svc
+	d.mu.Lock()
+	d.countLocked(size, kind)
+	d.mu.Unlock()
+	return done, done
+}
+
+// countLocked bumps the access counters. Caller holds d.mu.
+func (d *Device) countLocked(size int64, kind AccessKind) {
 	switch kind {
 	case Read:
 		d.reads++
@@ -225,8 +251,6 @@ func (d *Device) Access(now time.Duration, size int64, kind AccessKind, pat Patt
 		d.writes++
 		d.bytesWr += uint64(size)
 	}
-	d.mu.Unlock()
-	return done
 }
 
 // Stats is a snapshot of device counters for reports and tests.

@@ -34,15 +34,25 @@ type Decision struct {
 	Req     props.Requirements
 }
 
+// DefaultDecisionCap bounds BestFit's decision log: under sustained serving
+// load the log would otherwise grow without bound. Decisions() returns the
+// most recent DefaultDecisionCap entries unless SetDecisionCap overrides it.
+const DefaultDecisionCap = 4096
+
 // BestFit is the cost-model optimizer: among devices whose topology-adjusted
 // capabilities match the request's hard constraints, pick the one maximizing
 // props.Score (low latency, high bandwidth, confidentiality locality, and
 // premium-capacity conservation). Deterministic: ties break on device order.
+// Safe for concurrent callers.
 type BestFit struct {
 	Topo *topology.Topology
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// decisions is a ring buffer of the most recent placements: start is
+	// the oldest entry once the buffer wrapped.
 	decisions []Decision
+	start     int
+	cap       int // 0 → DefaultDecisionCap
 }
 
 // NewBestFit builds the optimizer.
@@ -53,9 +63,60 @@ func NewBestFit(topo *topology.Topology) *BestFit {
 // Name implements region.Placer.
 func (b *BestFit) Name() string { return "best-fit" }
 
+// SetDecisionCap bounds the retained decision log to the n most recent
+// placements (n ≤ 0 restores DefaultDecisionCap). Shrinking the cap drops
+// the oldest excess entries.
+func (b *BestFit) SetDecisionCap(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 {
+		n = DefaultDecisionCap
+	}
+	if len(b.decisions) > n {
+		b.decisions = b.chronologicalLocked()[len(b.decisions)-n:]
+		b.start = 0
+	}
+	b.cap = n
+}
+
+// ResetDecisions clears the decision log (tests and between benchmark
+// phases).
+func (b *BestFit) ResetDecisions() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.decisions = nil
+	b.start = 0
+}
+
+// record appends to the bounded decision log, overwriting the oldest entry
+// once the cap is reached.
+func (b *BestFit) record(d Decision) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	limit := b.cap
+	if limit == 0 {
+		limit = DefaultDecisionCap
+	}
+	if len(b.decisions) < limit {
+		b.decisions = append(b.decisions, d)
+		return
+	}
+	b.decisions[b.start] = d
+	b.start = (b.start + 1) % len(b.decisions)
+}
+
+// chronologicalLocked unrolls the ring into oldest-first order. Caller
+// holds b.mu.
+func (b *BestFit) chronologicalLocked() []Decision {
+	out := make([]Decision, 0, len(b.decisions))
+	out = append(out, b.decisions[b.start:]...)
+	out = append(out, b.decisions[:b.start]...)
+	return out
+}
+
 // Place implements region.Placer.
 func (b *BestFit) Place(req props.Requirements, computeID string) (string, error) {
-	return b.placeAt(req, computeID, 0, false)
+	return b.placeAt(req, computeID, 0, nil, false)
 }
 
 // PlaceAt implements region.PlacerAt: the request's virtual time lets the
@@ -63,7 +124,14 @@ func (b *BestFit) Place(req props.Requirements, computeID string) (string, error
 // now* and steer hot allocations away from contended devices — the
 // utilization awareness §3's challenges 1-3 require of the RTS.
 func (b *BestFit) PlaceAt(req props.Requirements, computeID string, now time.Duration) (string, error) {
-	return b.placeAt(req, computeID, now, true)
+	return b.placeAt(req, computeID, now, nil, true)
+}
+
+// PlaceEpoch implements region.PlacerEpoch: the backlog penalty is read
+// from the requester's own virtual-time epoch, so concurrently running
+// epochs steer by their own contention instead of each other's.
+func (b *BestFit) PlaceEpoch(req props.Requirements, computeID string, now time.Duration, ep *topology.Epoch) (string, error) {
+	return b.placeAt(req, computeID, now, ep, true)
 }
 
 // backlogPenalty converts a device's queue backlog (relative to the
@@ -81,7 +149,7 @@ func backlogPenalty(busyUntil, now time.Duration) float64 {
 	return p
 }
 
-func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Duration, contentionAware bool) (string, error) {
+func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Duration, ep *topology.Epoch, contentionAware bool) (string, error) {
 	best, bestScore := "", 0.0
 	for _, dev := range b.Topo.Memories() {
 		if dev.HardwareManaged {
@@ -96,7 +164,11 @@ func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Dur
 		}
 		s := req.Score(caps)
 		if contentionAware {
-			s -= backlogPenalty(dev.Stats().BusyUntil, now)
+			busy := dev.Stats().BusyUntil
+			if ep != nil {
+				busy = ep.BusyUntil(dev.ID)
+			}
+			s -= backlogPenalty(busy, now)
 		}
 		if best == "" || s > bestScore {
 			best, bestScore = dev.ID, s
@@ -105,19 +177,17 @@ func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Dur
 	if best == "" {
 		return "", fmt.Errorf("%w: %s from %s", ErrNoCandidate, req, computeID)
 	}
-	b.mu.Lock()
-	b.decisions = append(b.decisions, Decision{Compute: computeID, Device: best, Score: bestScore, Req: req})
-	b.mu.Unlock()
+	b.record(Decision{Compute: computeID, Device: best, Score: bestScore, Req: req})
 	return best, nil
 }
 
-// Decisions returns a copy of the decision log.
+// Decisions returns a copy of the retained decision log, oldest first. The
+// log is bounded (SetDecisionCap), so under sustained load this is the most
+// recent window, not the full history.
 func (b *BestFit) Decisions() []Decision {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]Decision, len(b.decisions))
-	copy(out, b.decisions)
-	return out
+	return b.chronologicalLocked()
 }
 
 // PlaceShared finds the best device addressable — and matching — from

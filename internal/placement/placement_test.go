@@ -268,3 +268,61 @@ func BenchmarkBestFitPlace(b *testing.B) {
 		}
 	}
 }
+
+func TestBestFitDecisionCapRing(t *testing.T) {
+	topo := testbed(t)
+	b := NewBestFit(topo)
+	b.SetDecisionCap(3)
+	req := props.Requirements{Capacity: 1 << 10}
+	for i := 0; i < 7; i++ {
+		// Vary the capacity so each decision is distinguishable in the log.
+		req.Capacity = int64(1<<10 + i)
+		if _, err := b.Place(req, "node0/cpu0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.Decisions()
+	if len(got) != 3 {
+		t.Fatalf("retained %d decisions, want 3", len(got))
+	}
+	// Most recent window, oldest first: capacities 4,5,6.
+	for i, d := range got {
+		if want := int64(1<<10 + 4 + i); d.Req.Capacity != want {
+			t.Errorf("decision %d capacity = %d, want %d (ring must be chronological)", i, d.Req.Capacity, want)
+		}
+	}
+
+	// Shrinking the cap drops the oldest excess entries.
+	b.SetDecisionCap(2)
+	got = b.Decisions()
+	if len(got) != 2 || got[0].Req.Capacity != 1<<10+5 || got[1].Req.Capacity != 1<<10+6 {
+		t.Errorf("after shrink got %+v, want capacities %d,%d", got, 1<<10+5, 1<<10+6)
+	}
+
+	b.ResetDecisions()
+	if got := b.Decisions(); len(got) != 0 {
+		t.Errorf("ResetDecisions left %d entries", len(got))
+	}
+	// Cap ≤ 0 restores the default bound.
+	b.SetDecisionCap(0)
+	if _, err := b.Place(req, "node0/cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Decisions(); len(got) != 1 {
+		t.Errorf("after reset-to-default got %d decisions, want 1", len(got))
+	}
+}
+
+func TestBestFitDecisionLogBoundedByDefault(t *testing.T) {
+	topo := testbed(t)
+	b := NewBestFit(topo)
+	req := props.Requirements{Capacity: 1 << 10}
+	for i := 0; i < DefaultDecisionCap+50; i++ {
+		if _, err := b.Place(req, "node0/cpu0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(b.Decisions()); got != DefaultDecisionCap {
+		t.Errorf("unbounded default log: %d entries, want %d", got, DefaultDecisionCap)
+	}
+}

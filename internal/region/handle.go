@@ -8,6 +8,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/props"
 	"repro/internal/telemetry"
+	"repro/internal/topology"
 )
 
 // Handle is a capability to a region held by one owner. Handles implement
@@ -23,6 +24,10 @@ type Handle struct {
 	gen     uint64
 	owner   Owner
 	compute string
+	// epoch, when non-nil, is the virtual-time epoch accesses through this
+	// handle queue against; nil uses the device-global queues. Derived
+	// handles (Share, Transfer) inherit it.
+	epoch *topology.Epoch
 }
 
 // ID returns the region id.
@@ -132,7 +137,7 @@ func (h *Handle) access(now time.Duration, off int64, buf []byte, write bool, pa
 	if write {
 		kind = memsim.Write
 	}
-	done, err := h.m.topo.AccessTime(h.compute, r.device.ID, now, n, kind, pat)
+	done, err := h.m.accessTime(h.epoch, h.compute, r.device.ID, now, n, kind, pat)
 	if err != nil {
 		return now, err
 	}
@@ -263,7 +268,7 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 		}
 	}
 	r.gen++ // invalidate the source handle (move semantics)
-	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute}
+	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, epoch: h.epoch}
 	delete(r.owners, h.owner)
 	r.owners[to] = toCompute
 	if zeroCopy {
@@ -271,7 +276,7 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 		return nh, now, nil
 	}
 	// Migration: re-place for the receiver and copy through the fabric.
-	done, err := h.m.migrateLocked(r, toCompute, now)
+	done, err := h.m.migrateLocked(r, toCompute, now, h.epoch)
 	if err != nil {
 		// Roll the ownership move back so the caller still owns the data.
 		r.gen++
@@ -287,16 +292,16 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 
 // migrateLocked moves a region to a device matching its requirements from
 // computeID, paying read+write virtual time. Caller holds m.mu.
-func (m *Manager) migrateLocked(r *Region, computeID string, now time.Duration) (time.Duration, error) {
+func (m *Manager) migrateLocked(r *Region, computeID string, now time.Duration, ep *topology.Epoch) (time.Duration, error) {
 	devID, err := m.placer.Place(r.req, computeID)
 	if err != nil {
 		return now, fmt.Errorf("%w: migration: %v", ErrNoPlacement, err)
 	}
-	return m.migrateToLocked(r, computeID, devID, now)
+	return m.migrateToLocked(r, computeID, devID, now, ep)
 }
 
 // migrateToLocked moves a region to the named device. Caller holds m.mu.
-func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.Duration) (time.Duration, error) {
+func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.Duration, ep *topology.Epoch) (time.Duration, error) {
 	dst, ok := m.topo.Memory(devID)
 	if !ok {
 		return now, fmt.Errorf("region: placer chose unknown device %q", devID)
@@ -317,11 +322,11 @@ func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.D
 		return now, err
 	}
 	// Price the copy: read from the old home, write to the new one.
-	rd, err := m.topo.AccessTime(computeID, r.device.ID, now, r.size, memsim.Read, memsim.Sequential)
+	rd, err := m.accessTime(ep, computeID, r.device.ID, now, r.size, memsim.Read, memsim.Sequential)
 	if err != nil {
 		rd = now // old home may be unreachable from the new compute; charge only the write
 	}
-	wr, err := m.topo.AccessTime(computeID, dst.ID, rd, r.size, memsim.Write, memsim.Sequential)
+	wr, err := m.accessTime(ep, computeID, dst.ID, rd, r.size, memsim.Write, memsim.Sequential)
 	if err != nil {
 		return now, err
 	}
@@ -371,7 +376,7 @@ func (h *Handle) Share(to Owner, toCompute string) (*Handle, error) {
 	}
 	r.owners[to] = toCompute
 	h.m.reg.Add(telemetry.LayerRegion, "shares", 1)
-	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute}, nil
+	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, epoch: h.epoch}, nil
 }
 
 // Release drops this owner's claim; the region is freed when the last owner

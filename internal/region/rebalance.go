@@ -138,7 +138,7 @@ func (m *Manager) Rebalance(now time.Duration, pol RebalancePolicy) (RebalanceSt
 			if !ok {
 				continue
 			}
-			done, err := m.migrateToLocked(r, comp, dst, now)
+			done, err := m.migrateToLocked(r, comp, dst, now, nil)
 			if err != nil {
 				continue // best-effort: skip unmovable regions
 			}
@@ -180,7 +180,7 @@ func (m *Manager) Rebalance(now time.Duration, pol RebalancePolicy) (RebalanceSt
 		if !m.addressableByAllOwners(r, best) {
 			continue
 		}
-		done, err := m.migrateToLocked(r, comp, best, now)
+		done, err := m.migrateToLocked(r, comp, best, now, nil)
 		if err != nil {
 			continue
 		}

@@ -76,6 +76,12 @@ type Spec struct {
 	// "resource utilization" signal §3's challenges 1-3 ask the RTS to
 	// track. Zero is a valid time (job start).
 	Now time.Duration
+	// Epoch, when non-nil, is the virtual-time epoch all of this region's
+	// accesses are queued against. Handles derived from the allocation
+	// (shares, transfers) inherit it, so one epoch's backlog never leaks
+	// into another — the isolation concurrent job submission requires.
+	// Nil falls back to the device-global queues (legacy sequential mode).
+	Epoch *topology.Epoch
 }
 
 // PlacerAt is the optional contention-aware extension of Placer: placers
@@ -83,6 +89,13 @@ type Spec struct {
 // devices whose service queues are backed up.
 type PlacerAt interface {
 	PlaceAt(req props.Requirements, computeID string, now time.Duration) (string, error)
+}
+
+// PlacerEpoch is the epoch-aware extension of Placer: the backlog signal is
+// read from the requester's own virtual-time epoch instead of the
+// device-global queues, so concurrent epochs steer by their own contention.
+type PlacerEpoch interface {
+	PlaceEpoch(req props.Requirements, computeID string, now time.Duration, ep *topology.Epoch) (string, error)
 }
 
 // Region is the manager-internal state of one memory region.
@@ -199,9 +212,20 @@ func (m *Manager) Alloc(spec Spec) (*Handle, error) {
 
 	devID := spec.Device
 	if devID == "" {
-		if pa, ok := m.placer.(PlacerAt); ok {
-			devID, err = pa.PlaceAt(req, spec.Compute, spec.Now)
-		} else {
+		switch p := m.placer.(type) {
+		case PlacerEpoch:
+			if spec.Epoch != nil {
+				devID, err = p.PlaceEpoch(req, spec.Compute, spec.Now, spec.Epoch)
+				break
+			}
+			if pa, ok := m.placer.(PlacerAt); ok {
+				devID, err = pa.PlaceAt(req, spec.Compute, spec.Now)
+			} else {
+				devID, err = m.placer.Place(req, spec.Compute)
+			}
+		case PlacerAt:
+			devID, err = p.PlaceAt(req, spec.Compute, spec.Now)
+		default:
 			devID, err = m.placer.Place(req, spec.Compute)
 		}
 		if err != nil {
@@ -250,7 +274,16 @@ func (m *Manager) Alloc(spec Spec) (*Handle, error) {
 	m.regions[id] = r
 	m.reg.Add(telemetry.LayerRegion, "allocs", 1)
 	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", block)
-	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute}, nil
+	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute, epoch: spec.Epoch}, nil
+}
+
+// accessTime routes a virtual memory access through the handle's epoch when
+// one is set, falling back to the device-global queues.
+func (m *Manager) accessTime(ep *topology.Epoch, computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error) {
+	if ep != nil {
+		return ep.AccessTime(computeID, memID, now, size, kind, pat)
+	}
+	return m.topo.AccessTime(computeID, memID, now, size, kind, pat)
 }
 
 // lookup returns the live region for a handle. Caller holds m.mu.

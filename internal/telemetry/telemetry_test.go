@@ -201,3 +201,34 @@ func TestExportChromeTrace(t *testing.T) {
 		t.Errorf("nil registry trace = %q, %v", buf.String(), err)
 	}
 }
+
+// TestExportChromeTraceGolden pins the exact trace bytes for a task whose
+// spans cross two layers: each layer (pid) must carry its own thread_name
+// meta event for the task, with tids numbered per pid. Before thread names
+// were keyed per (layer, task), the second layer's track rendered unnamed.
+func TestExportChromeTraceGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Record(Span{Layer: LayerRuntime, Job: "j", Task: "a", Name: "exec", Start: 1000, End: 4000})
+	r.Record(Span{Layer: LayerDevice, Job: "j", Task: "a", Name: "read", Start: 1500, End: 2500})
+	r.Record(Span{Layer: LayerRuntime, Job: "j", Task: "b", Name: "exec", Start: 4000, End: 6000})
+	r.Record(Span{Layer: LayerDevice, Job: "j", Task: "b", Name: "write", Start: 4500, End: 5000})
+	var buf bytes.Buffer
+	if err := r.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `[` +
+		`{"name":"process_name","ph":"M","pid":1,"args":{"name":"layer: runtime"}},` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"j/a"}},` +
+		`{"name":"exec","cat":"runtime","ph":"X","ts":1,"dur":3,"pid":1,"tid":1,"args":{"job":"j","task":"a"}},` +
+		`{"name":"process_name","ph":"M","pid":2,"args":{"name":"layer: device"}},` +
+		`{"name":"thread_name","ph":"M","pid":2,"tid":1,"args":{"name":"j/a"}},` +
+		`{"name":"read","cat":"device","ph":"X","ts":1.5,"dur":1,"pid":2,"tid":1,"args":{"job":"j","task":"a"}},` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"j/b"}},` +
+		`{"name":"exec","cat":"runtime","ph":"X","ts":4,"dur":2,"pid":1,"tid":2,"args":{"job":"j","task":"b"}},` +
+		`{"name":"thread_name","ph":"M","pid":2,"tid":2,"args":{"name":"j/b"}},` +
+		`{"name":"write","cat":"device","ph":"X","ts":4.5,"dur":0.5,"pid":2,"tid":2,"args":{"job":"j","task":"b"}}` +
+		"]\n"
+	if got := buf.String(); got != golden {
+		t.Errorf("trace mismatch:\ngot:  %s\nwant: %s", got, golden)
+	}
+}

@@ -48,7 +48,12 @@ func (r *Registry) ExportChromeTrace(w io.Writer) error {
 		return spans[i].Layer < spans[j].Layer
 	})
 	layerPid := map[Layer]int{}
+	// Threads are per (layer, task): tids number independently within each
+	// pid, and every pid gets its own thread_name meta event. Keying tids by
+	// task alone would emit the meta only under the first layer that touched
+	// the task, leaving the same task's tracks in other layers unnamed.
 	taskTid := map[string]int{}
+	nextTid := map[int]int{}
 	var events []any
 	for _, s := range spans {
 		pid, ok := layerPid[s.Layer]
@@ -61,10 +66,12 @@ func (r *Registry) ExportChromeTrace(w io.Writer) error {
 			})
 		}
 		taskKey := s.Job + "/" + s.Task
-		tid, ok := taskTid[taskKey]
+		tidKey := fmt.Sprintf("%d/%s", pid, taskKey)
+		tid, ok := taskTid[tidKey]
 		if !ok {
-			tid = len(taskTid) + 1
-			taskTid[taskKey] = tid
+			nextTid[pid]++
+			tid = nextTid[pid]
+			taskTid[tidKey] = tid
 			events = append(events, metaEvent{
 				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 				Args: map[string]string{"name": taskKey},

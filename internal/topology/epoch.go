@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/memsim"
+)
+
+// Epoch is one virtual-time epoch: a private view of every memory device's
+// service queue. The hardware graph itself (devices, links, routes, capacity
+// accounting) stays shared; only *queue time* — the state that defines a
+// virtual clock — lives here. Concurrent epochs therefore never interleave
+// their backlogs: two jobs running in different epochs each see the device
+// idle at their own t=0, exactly as if they ran on freshly drained hardware,
+// while jobs sharing one epoch contend on the same FIFO queues (the
+// multi-job serving case where contention is the point).
+//
+// Epoch replaces the old pattern of mutating the device-global queue and
+// calling Topology.ResetQueues between runs, which was only safe for
+// sequential submission. ResetQueues remains for the measurement-phase
+// callers that still use the global queue.
+//
+// An Epoch is safe for concurrent use by multiple goroutines.
+type Epoch struct {
+	topo *Topology
+
+	mu   sync.Mutex
+	busy map[string]time.Duration // memory device ID → queue drain time
+}
+
+// NewEpoch starts a fresh virtual-time epoch on this topology: every device
+// queue is seen as drained at t=0.
+func (t *Topology) NewEpoch() *Epoch {
+	return &Epoch{topo: t, busy: make(map[string]time.Duration)}
+}
+
+// Topology returns the shared hardware graph this epoch runs on.
+func (e *Epoch) Topology() *Topology { return e.topo }
+
+// BusyUntil returns the epoch-local queue drain time of a memory device —
+// the contention signal epoch-aware placers steer by.
+func (e *Epoch) BusyUntil(memID string) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.busy[memID]
+}
+
+// AccessTime is Topology.AccessTime against this epoch's queue state: the
+// virtual completion time of a memory access of size bytes issued by
+// computeID against memID at virtual time now. Path latency both ways is
+// added to the epoch-local queued service time, and transfer time is
+// stretched if the path is narrower than the device.
+func (e *Epoch) AccessTime(computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error) {
+	mem, ok := e.topo.memories[memID]
+	if !ok {
+		return 0, fmt.Errorf("topology: unknown memory device %q", memID)
+	}
+	path, ok := e.topo.Path(computeID, memID)
+	if !ok {
+		return 0, fmt.Errorf("topology: no path %s→%s", computeID, memID)
+	}
+	e.mu.Lock()
+	done, busy := mem.AccessQueued(e.busy[memID], now+path.Latency, size, kind, pat)
+	e.busy[memID] = busy
+	e.mu.Unlock()
+	done += pathStretch(path, mem, size)
+	return done + path.Latency, nil
+}
+
+// pathStretch is the extra transfer time when the route is the bottleneck:
+// the gap between moving size bytes at path bandwidth vs device bandwidth.
+func pathStretch(path PathInfo, mem *memsim.Device, size int64) time.Duration {
+	if size <= 0 || path.Bandwidth >= mem.Bandwidth {
+		return 0
+	}
+	extra := time.Duration(float64(size)/path.Bandwidth*float64(time.Second)) -
+		time.Duration(float64(size)/mem.Bandwidth*float64(time.Second))
+	if extra < 0 {
+		return 0
+	}
+	return extra
+}

@@ -383,13 +383,7 @@ func (t *Topology) AccessTime(computeID, memID string, now time.Duration, size i
 	}
 	done := mem.Access(now+path.Latency, size, kind, pat)
 	// If the path is the bottleneck, stretch the transfer phase.
-	if size > 0 && path.Bandwidth < mem.Bandwidth {
-		extra := time.Duration(float64(size)/path.Bandwidth*float64(time.Second)) -
-			time.Duration(float64(size)/mem.Bandwidth*float64(time.Second))
-		if extra > 0 {
-			done += extra
-		}
-	}
+	done += pathStretch(path, mem, size)
 	return done + path.Latency, nil
 }
 
