@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve clean
+.PHONY: all build vet test race bench serve serve-recover clean
 
 all: build vet test race
 
@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive layers under the race detector: the serving
-# engine (core.Server, epochs) and the region manager.
+# engine (core.Server, epochs, recovery), the region manager, the fault
+# injector/stores, and the telemetry registry.
 race:
-	$(GO) test -race ./internal/core/... ./internal/region/...
+	$(GO) test -race ./internal/core/... ./internal/region/... ./internal/fault/... ./internal/telemetry/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -26,6 +27,10 @@ bench:
 # Smoke-run the admission-controlled serving mode.
 serve:
 	$(GO) run ./cmd/disaggsim -serve -jobs 16 -workers 4
+
+# Smoke-run fault-tolerant serving: injected faults, checkpointed recovery.
+serve-recover:
+	$(GO) run ./cmd/disaggsim -serve -jobs 16 -workers 4 -recover -faultrate 0.4 -maxattempts 8
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@
 //	disaggsim -jobs hospital,dbms,streaming     # concurrent multi-job serving
 //	disaggsim -serve -jobs 32 -workers 8        # admission-controlled serving
 //	disaggsim -serve -jobs hospital,dbms,ml     # serve an explicit job mix
+//	disaggsim -serve -jobs 16 -faultrate 0.5 -recover   # fault-tolerant serving
 //
 // Jobs: hospital, dbms, ml, hpc, streaming, graph.
 // Schedulers: heft (default), fifo, rr.
@@ -20,6 +21,13 @@
 // number) are submitted from parallel goroutines through core.Server's
 // bounded admission queue and executed by a worker pool that batches them
 // into shared virtual-time epochs.
+//
+// -faultrate injects deterministic task faults (seeded by -seed) into that
+// fraction of task executions; each chosen task fails once and then
+// succeeds. Without -recover the failures surface to the submitters; with
+// -recover every job checkpoints task outputs into a replicated far-memory
+// store and is retried (-maxattempts) with checkpointed tasks restored
+// instead of re-executed.
 package main
 
 import (
@@ -30,10 +38,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 	"repro/internal/placement"
 	"repro/internal/region"
 	"repro/internal/sched"
@@ -54,6 +63,9 @@ func main() {
 	workers := flag.Int("workers", 4, "serve mode: epoch workers in the pool")
 	queueDepth := flag.Int("queue", 64, "serve mode: admission queue depth")
 	maxBatch := flag.Int("batch", 8, "serve mode: max jobs folded into one shared epoch")
+	recover := flag.Bool("recover", false, "checkpointed recovery: retry failed jobs, restoring completed tasks")
+	faultRate := flag.Float64("faultrate", 0, "inject one deterministic fault into this fraction of task sites (0..1)")
+	maxAttempts := flag.Int("maxattempts", 3, "recovery: total runs per submission")
 	flag.Parse()
 
 	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
@@ -107,15 +119,24 @@ func main() {
 	}
 
 	tel := telemetry.NewRegistry()
+	var inject *fault.Injector
+	if *faultRate > 0 {
+		inject = fault.NewInjector(uint64(*seed), *faultRate, 1)
+	}
 	rt, err := core.New(core.Config{
 		Topology: topo, Placer: placer, Scheduler: scheduler, Telemetry: tel,
+		Inject: inject,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	if *serve {
-		if err := serveJobs(rt, tel, buildJob, *jobName, *jobList, *workers, *queueDepth, *maxBatch); err != nil {
+		if err := serveJobs(rt, tel, buildJob, serveOpts{
+			jobName: *jobName, jobList: *jobList,
+			workers: *workers, queueDepth: *queueDepth, maxBatch: *maxBatch,
+			recover: *recover, maxAttempts: *maxAttempts, inject: inject,
+		}); err != nil {
 			fatal(err)
 		}
 		if *profile {
@@ -168,9 +189,24 @@ func main() {
 		fatal(fmt.Errorf("unknown job %q", *jobName))
 	}
 
-	rep, err := rt.Run(job)
-	if err != nil {
-		fatal(err)
+	var rep *core.Report
+	if *recover {
+		store, err := newCheckpointStore()
+		if err != nil {
+			fatal(err)
+		}
+		var attempts int
+		rep, attempts, err = rt.RunWithRecovery(job, core.NewCheckpointer(store), *maxAttempts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recovered run: %d attempt(s), %d restore(s)\n",
+			attempts, tel.Counter(telemetry.LayerFault, "restores"))
+	} else {
+		rep, err = rt.Run(job)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Print(rep.String())
 	fmt.Println("\npeak device allocation:")
@@ -186,21 +222,42 @@ func main() {
 	writeTrace(tel, *traceOut)
 }
 
+// serveOpts bundles the serve-mode flags.
+type serveOpts struct {
+	jobName, jobList              string
+	workers, queueDepth, maxBatch int
+	recover                       bool
+	maxAttempts                   int
+	inject                        *fault.Injector
+}
+
+// newCheckpointStore builds the CLI's checkpoint store: a 2-way replicated
+// far-memory store over a private 3-node fabric.
+func newCheckpointStore() (fault.Store, error) {
+	f := cluster.NewFabric(cluster.Config{})
+	for i := 0; i < 3; i++ {
+		if err := f.AddNode(fmt.Sprintf("ckmem%d", i), 1<<28); err != nil {
+			return nil, err
+		}
+	}
+	return fault.NewReplicatedStore(f, 2)
+}
+
 // serveJobs drives core.Server from parallel goroutines: -jobs is either a
 // plain number (that many copies of -job) or a comma-separated mix.
-func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) (*dataflow.Job, error), jobName, jobList string, workers, queueDepth, maxBatch int) error {
+func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) (*dataflow.Job, error), o serveOpts) error {
 	var names []string
-	if n, err := strconv.Atoi(strings.TrimSpace(jobList)); err == nil && n > 0 {
+	if n, err := strconv.Atoi(strings.TrimSpace(o.jobList)); err == nil && n > 0 {
 		for i := 0; i < n; i++ {
-			names = append(names, jobName)
+			names = append(names, o.jobName)
 		}
-	} else if jobList != "" {
-		for _, name := range strings.Split(jobList, ",") {
+	} else if o.jobList != "" {
+		for _, name := range strings.Split(o.jobList, ",") {
 			names = append(names, strings.TrimSpace(name))
 		}
 	} else {
 		for i := 0; i < 8; i++ {
-			names = append(names, jobName)
+			names = append(names, o.jobName)
 		}
 	}
 	jobs := make([]*dataflow.Job, len(names))
@@ -212,10 +269,18 @@ func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) 
 		jobs[i] = j
 	}
 
-	srv, err := core.NewServer(core.ServerConfig{
-		Runtime: rt, Workers: workers, QueueDepth: queueDepth,
-		MaxBatch: maxBatch, Block: true,
-	})
+	cfg := core.ServerConfig{
+		Runtime: rt, Workers: o.workers, QueueDepth: o.queueDepth,
+		MaxBatch: o.maxBatch, Block: true,
+	}
+	if o.recover {
+		store, err := newCheckpointStore()
+		if err != nil {
+			return err
+		}
+		cfg.Recovery = &core.RecoveryPolicy{Store: store, MaxAttempts: o.maxAttempts}
+	}
+	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return err
 	}
@@ -239,22 +304,37 @@ func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) 
 	}
 
 	fmt.Printf("served %d jobs across %d workers (queue %d, batch %d)\n",
-		len(jobs), workers, queueDepth, maxBatch)
+		len(jobs), o.workers, o.queueDepth, o.maxBatch)
 	for i, out := range results {
 		if out.err != nil {
 			fmt.Printf("  %-16s #%-3d FAILED: %v\n", names[i], i, out.err)
 			continue
 		}
-		fmt.Printf("  %-16s #%-3d makespan %12v\n", names[i], i, out.rep.Makespan)
+		line := fmt.Sprintf("  %-16s #%-3d makespan %12v", names[i], i, out.rep.Makespan)
+		if out.rep.Attempts > 1 {
+			line += fmt.Sprintf("  (recovered, %d attempts)", out.rep.Attempts)
+		}
+		fmt.Println(line)
 	}
-	fmt.Printf("admission: admitted %d, completed %d, rejected %d, canceled %d, failed %d, epochs %d, queue wait %v\n",
+	fmt.Printf("admission: admitted %d, completed %d, rejected %d, canceled %d, failed %d, epochs %d\n",
 		tel.Counter(telemetry.LayerRuntime, "server_admitted"),
 		tel.Counter(telemetry.LayerRuntime, "server_completed"),
 		tel.Counter(telemetry.LayerRuntime, "server_rejected"),
 		tel.Counter(telemetry.LayerRuntime, "server_canceled"),
 		tel.Counter(telemetry.LayerRuntime, "server_failed"),
-		tel.Counter(telemetry.LayerRuntime, "server_epochs"),
-		time.Duration(tel.Counter(telemetry.LayerRuntime, "server_queue_wait_ns")))
+		tel.Counter(telemetry.LayerRuntime, "server_epochs"))
+	if h := tel.Hist(telemetry.LayerRuntime, "server_queue_wait"); h != nil {
+		fmt.Printf("queue wait: p50 %v, p99 %v, max %v (n=%d)\n",
+			h.Quantile(0.50), h.Quantile(0.99), h.Max(), h.Count())
+	}
+	if o.inject != nil || o.recover {
+		fmt.Printf("faults: injected %d; recovery: retries %d, checkpoints %d, restores %d, recovered jobs %d\n",
+			o.inject.Injected(),
+			tel.Counter(telemetry.LayerFault, "job_retries"),
+			tel.Counter(telemetry.LayerFault, "checkpoints"),
+			tel.Counter(telemetry.LayerFault, "restores"),
+			tel.Counter(telemetry.LayerRuntime, "server_recovered"))
+	}
 	return nil
 }
 

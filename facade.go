@@ -6,8 +6,10 @@ package repro
 // packages remain free to evolve behind them.
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 	"repro/internal/placement"
 	"repro/internal/props"
 	"repro/internal/region"
@@ -93,6 +95,9 @@ type (
 	Server = core.Server
 	// ServerConfig assembles a Server; zero values get serving defaults.
 	ServerConfig = core.ServerConfig
+	// RecoveryPolicy makes served jobs fault-tolerant: checkpointed task
+	// outputs, bounded retries, virtual-time backoff (ServerConfig.Recovery).
+	RecoveryPolicy = core.RecoveryPolicy
 	// Topology is the simulated hardware graph.
 	Topology = topology.Topology
 	// Telemetry is the cross-layer metrics registry.
@@ -106,6 +111,33 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return core.New(cfg) }
 
 // NewCheckpointer wraps a fault-tolerant store for RunWithRecovery.
 var NewCheckpointer = core.NewCheckpointer
+
+// Fault tolerance (challenge 8(3)): durable far-memory stores for
+// checkpoints, plus the deterministic fault-injection hook.
+type (
+	// FaultStore is a fault-tolerant far-memory object store (replication
+	// or Carbink-style erasure coding).
+	FaultStore = fault.Store
+	// FaultInjector deterministically kills chosen task executions so
+	// recovery can be exercised reproducibly (RuntimeConfig.Inject).
+	FaultInjector = fault.Injector
+	// Fabric is the simulated far-memory cluster fault stores write to.
+	Fabric = cluster.Fabric
+	// FabricConfig tunes the simulated fabric.
+	FabricConfig = cluster.Config
+)
+
+var (
+	// NewFabric builds a far-memory cluster for fault stores.
+	NewFabric = cluster.NewFabric
+	// NewReplicatedStore keeps k full copies of each object.
+	NewReplicatedStore = fault.NewReplicatedStore
+	// NewFaultInjector fails the first `kills` executions of a seeded
+	// `rate` fraction of task sites.
+	NewFaultInjector = fault.NewInjector
+	// ErrInjectedFault marks a deterministically injected task failure.
+	ErrInjectedFault = fault.ErrInjected
+)
 
 // NewServer builds and starts a concurrent job-submission engine.
 var NewServer = core.NewServer

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
@@ -22,27 +25,36 @@ import (
 // operator's choice). When a task fails, RunWithRecovery re-runs the job:
 // tasks with a snapshot are *restored* — their output is fetched from the
 // store into a fresh region and handed to successors — instead of
-// re-executed.
+// re-executed. core.Server layers the same mechanism under concurrent
+// serving (ServerConfig.Recovery): retries replay inside the worker's
+// shared epoch.
 //
 // Scope: the snapshot covers dataflow state (task outputs). Side effects on
 // job-global regions are transient by definition (Global Scratch) or
 // synchronization state (Global State) that tasks must be able to rebuild —
 // the same contract Spark-style lineage recovery imposes.
 
-// Checkpointer stores per-(job, task) output snapshots in a fault.Store.
+// Checkpointer stores per-(submission, task) output snapshots in a
+// fault.Store. It is safe for concurrent use by many runs: entries are
+// keyed by a unique per-submission run ID (not the job name), so identical
+// jobs submitted concurrently never cross-restore or cross-Forget each
+// other's snapshots, and store I/O happens outside the entry lock so
+// workers never serialize on far-memory transfers.
 type Checkpointer struct {
 	store fault.Store
+	seq   atomic.Uint64
 
 	mu      sync.Mutex
-	entries map[string]ckEntry // "job/task" → entry
+	entries map[string]ckEntry // "runID/task" → entry
 }
 
 type ckEntry struct {
 	obj  fault.ObjectID
 	size int64
-	// done marks tasks that completed without an output (sinks whose
-	// effect is logs/final state only).
-	done bool
+	// hasOutput distinguishes a task that produced an output region
+	// (possibly with an empty payload — successors still expect delivery)
+	// from a sink that completed without one.
+	hasOutput bool
 }
 
 // NewCheckpointer wraps a fault-tolerant store.
@@ -50,68 +62,94 @@ func NewCheckpointer(store fault.Store) *Checkpointer {
 	return &Checkpointer{store: store, entries: make(map[string]ckEntry)}
 }
 
-func ckKey(job, task string) string { return job + "/" + task }
+// runID mints a unique snapshot namespace for one submission of job. All
+// attempts of that submission share the ID; concurrent submissions of
+// same-named jobs get distinct IDs.
+func (c *Checkpointer) runID(job string) string {
+	return fmt.Sprintf("%s@%d", job, c.seq.Add(1))
+}
+
+func ckKey(runID, task string) string { return runID + "/" + task }
 
 // lookup returns the entry for a task, if any.
-func (c *Checkpointer) lookup(job, task string) (ckEntry, bool) {
+func (c *Checkpointer) lookup(runID, task string) (ckEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[ckKey(job, task)]
+	e, ok := c.entries[ckKey(runID, task)]
 	return e, ok
 }
 
-// snapshot persists a completed task's output bytes (nil for output-less
-// tasks) and returns the virtual time the store took.
-func (c *Checkpointer) snapshot(job, task string, data []byte) (time.Duration, error) {
+// snapshot persists a completed task's output bytes. hasOutput marks
+// whether the task produced an output region at all; data may be empty
+// either way. Returns the virtual time the store took.
+//
+// The store round-trips run outside the entry lock: N workers
+// checkpointing concurrently contend on the store's own synchronization
+// only, never on each other's bookkeeping.
+func (c *Checkpointer) snapshot(runID, task string, data []byte, hasOutput bool) (time.Duration, error) {
+	key := ckKey(runID, task)
+	e := ckEntry{hasOutput: hasOutput}
+	var d time.Duration
+	if hasOutput && len(data) > 0 {
+		obj, dd, err := c.store.Put(data)
+		if err != nil {
+			return dd, fmt.Errorf("core: checkpoint %s: %w", key, err)
+		}
+		e.obj, e.size, d = obj, int64(len(data)), dd
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	key := ckKey(job, task)
-	if old, ok := c.entries[key]; ok && !old.done {
-		// Re-checkpoint (job re-ran from scratch): drop the stale object.
+	old, had := c.entries[key]
+	c.entries[key] = e
+	c.mu.Unlock()
+	if had && old.size > 0 {
+		// Re-checkpoint (the run re-ran this task from scratch): drop the
+		// stale object, again outside the lock. A concurrent Forget of the
+		// same run may have deleted it already; the store's not-found reply
+		// is tolerated (best-effort GC).
 		c.store.Delete(old.obj) //nolint:errcheck // best-effort GC
 	}
-	if len(data) == 0 {
-		c.entries[key] = ckEntry{done: true}
-		return 0, nil
-	}
-	obj, d, err := c.store.Put(data)
-	if err != nil {
-		return d, fmt.Errorf("core: checkpoint %s: %w", key, err)
-	}
-	c.entries[key] = ckEntry{obj: obj, size: int64(len(data))}
 	return d, nil
 }
 
-// restore fetches a snapshot's bytes.
-func (c *Checkpointer) restore(job, task string) ([]byte, time.Duration, error) {
+// restore fetches a snapshot's bytes. hasOutput reports whether the task
+// had produced an output region (so an empty payload still must be
+// delivered to successors).
+func (c *Checkpointer) restore(runID, task string) (data []byte, hasOutput bool, d time.Duration, err error) {
 	c.mu.Lock()
-	e, ok := c.entries[ckKey(job, task)]
+	e, ok := c.entries[ckKey(runID, task)]
 	c.mu.Unlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("core: no checkpoint for %s/%s", job, task)
+		return nil, false, 0, fmt.Errorf("core: no checkpoint for %s/%s", runID, task)
 	}
-	if e.done {
-		return nil, 0, nil
+	if e.size == 0 {
+		return nil, e.hasOutput, 0, nil
 	}
-	data, d, err := c.store.Get(e.obj)
+	data, d, err = c.store.Get(e.obj)
 	if err != nil {
-		return nil, d, fmt.Errorf("core: restoring %s/%s: %w", job, task, err)
+		return nil, true, d, fmt.Errorf("core: restoring %s/%s: %w", runID, task, err)
 	}
-	return data, d, nil
+	return data, true, d, nil
 }
 
-// Forget drops all snapshots of a job (after successful completion).
-func (c *Checkpointer) Forget(job string) {
+// Forget drops all snapshots of one submission (after it terminally
+// succeeded or failed). Entries leave the map under the lock; the store
+// deletes run outside it, so a slow store never blocks other runs'
+// snapshot/restore traffic.
+func (c *Checkpointer) Forget(runID string) {
+	prefix := runID + "/"
+	var objs []fault.ObjectID
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	prefix := job + "/"
 	for k, e := range c.entries {
-		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-			if !e.done {
-				c.store.Delete(e.obj) //nolint:errcheck // best-effort GC
+		if strings.HasPrefix(k, prefix) {
+			if e.size > 0 {
+				objs = append(objs, e.obj)
 			}
 			delete(c.entries, k)
 		}
+	}
+	c.mu.Unlock()
+	for _, obj := range objs {
+		c.store.Delete(obj) //nolint:errcheck // best-effort GC
 	}
 }
 
@@ -122,11 +160,24 @@ func (c *Checkpointer) Snapshots() int {
 	return len(c.entries)
 }
 
+// defaultFaultStore builds the serving default: a 2-way replicated
+// far-memory store over a private 3-node fabric.
+func defaultFaultStore() (fault.Store, error) {
+	f := cluster.NewFabric(cluster.Config{})
+	for i := 0; i < 3; i++ {
+		if err := f.AddNode(fmt.Sprintf("ckmem%d", i), 1<<28); err != nil {
+			return nil, err
+		}
+	}
+	return fault.NewReplicatedStore(f, 2)
+}
+
 // RunWithRecovery executes the job, checkpointing each task's output into
 // ck's store; on task failure it retries (up to maxAttempts total runs),
 // restoring completed tasks from their snapshots instead of re-executing
 // them. Returns the final report, the number of attempts used, and the
-// first error if all attempts failed. Snapshots are forgotten on success.
+// first error if all attempts failed. Snapshots are forgotten on success
+// and after the final failed attempt (nothing will ever replay them).
 func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttempts int) (*Report, int, error) {
 	if ck == nil {
 		return nil, 0, fmt.Errorf("core: nil checkpointer")
@@ -134,16 +185,19 @@ func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttem
 	if maxAttempts <= 0 {
 		maxAttempts = 2
 	}
+	id := ck.runID(job.Name())
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		rep, err := rt.execute(job, ck)
+		rep, err := rt.execute(job, ck, id)
 		if err == nil {
-			ck.Forget(job.Name())
+			ck.Forget(id)
+			rep.Attempts = attempt
 			return rep, attempt, nil
 		}
 		lastErr = err
 		rt.tel.Add(telemetry.LayerFault, "job_retries", 1)
 	}
+	ck.Forget(id)
 	return nil, maxAttempts, fmt.Errorf("core: job %s failed after %d attempts: %w", job.Name(), maxAttempts, lastErr)
 }
 
@@ -151,7 +205,8 @@ func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttem
 // checkpointer's store, charging the store's virtual time to the task.
 func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
 	var data []byte
-	if ctx.output != nil {
+	hasOutput := ctx.output != nil
+	if hasOutput {
 		size, err := ctx.output.Size()
 		if err != nil {
 			return err
@@ -164,7 +219,7 @@ func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
 		}
 		ctx.now = now
 	}
-	d, err := r.ck.snapshot(r.job.Name(), t.ID(), data)
+	d, err := r.ck.snapshot(r.ckID, t.ID(), data, hasOutput)
 	if err != nil {
 		return err
 	}
@@ -175,7 +230,9 @@ func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
 
 // restoreTask replays a checkpointed task: inputs are discarded (their
 // producer's effect is already captured downstream), the stored output is
-// materialized into a fresh region, and delivery proceeds as usual.
+// materialized into a fresh region, and delivery proceeds as usual — even
+// for an empty payload, so successors that legitimately expect the region
+// are never starved.
 func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration, coreIdx int, start time.Duration) error {
 	for _, p := range t.Preds() {
 		if h := r.pending[t.ID()][p.ID()]; h != nil {
@@ -184,22 +241,30 @@ func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration,
 		}
 	}
 	// Adopt inputs list as empty: the restored task does not run.
-	data, d, err := r.ck.restore(r.job.Name(), t.ID())
+	data, hasOutput, d, err := r.ck.restore(r.ckID, t.ID())
 	if err != nil {
 		return err
 	}
 	ctx.now += d
-	if data != nil {
-		out, err := ctx.Output(int64(len(data)))
+	if hasOutput {
+		size := int64(len(data))
+		if size == 0 {
+			// Regions have a one-byte floor; deliver the smallest region
+			// with an empty payload rather than starving successors.
+			size = 1
+		}
+		out, err := ctx.Output(size)
 		if err != nil {
 			return err
 		}
-		f := out.WriteAsync(ctx.now, 0, data)
-		now, err := f.Await(ctx.now)
-		if err != nil {
-			return err
+		if len(data) > 0 {
+			f := out.WriteAsync(ctx.now, 0, data)
+			now, err := f.Await(ctx.now)
+			if err != nil {
+				return err
+			}
+			ctx.now = now
 		}
-		ctx.now = now
 		if err := r.deliverOutput(ctx, t); err != nil {
 			ctx.releaseAll()
 			return err
@@ -214,5 +279,9 @@ func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration,
 		Start: start, Finish: ctx.now,
 		Regions: ctx.regions, Logs: ctx.logs,
 	}
+	r.rt.tel.Record(telemetry.Span{
+		Layer: telemetry.LayerFault, Job: r.job.Name(), Task: t.ID(),
+		Name: "restore", Start: start, End: ctx.now,
+	})
 	return nil
 }

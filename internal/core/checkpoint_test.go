@@ -189,15 +189,17 @@ func TestRecoverySurvivesStorageNodeCrash(t *testing.T) {
 	counts := map[string]*int{"produce": new(int), "transform": new(int), "consume": new(int)}
 	job := flakyJob(1, counts)
 
-	// First attempt manually so we can crash a node before the retry.
-	_, err := rt.execute(job, ck)
+	// First attempt manually so we can crash a node before the retry; both
+	// attempts share one submission ID so the retry sees the snapshots.
+	id := ck.runID(job.Name())
+	_, err := rt.execute(job, ck, id)
 	if err == nil {
 		t.Fatal("first attempt should fail (flaky task)")
 	}
 	if err := fabric.Crash("ckmem0"); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := rt.execute(job, ck)
+	rep, err := rt.execute(job, ck, id)
 	if err != nil {
 		t.Fatalf("retry with crashed checkpoint node: %v", err)
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 	"repro/internal/placement"
 	"repro/internal/props"
 	"repro/internal/region"
@@ -41,6 +42,10 @@ type Config struct {
 	Placer    region.Placer
 	Scheduler sched.Scheduler
 	Telemetry *telemetry.Registry
+	// Inject, when set, is consulted before every task execution and may
+	// fail it deterministically (fault.ErrInjected) — the chaos hook tests
+	// and disaggsim use to exercise recovery. Nil injects nothing.
+	Inject *fault.Injector
 }
 
 // Runtime is the RTS instance. Run is safe for concurrent submission from
@@ -53,6 +58,7 @@ type Runtime struct {
 	sched   sched.Scheduler
 	regions *region.Manager
 	tel     *telemetry.Registry
+	inject  *fault.Injector
 }
 
 // New builds a runtime.
@@ -81,7 +87,7 @@ func New(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{topo: topo, placer: placer, sched: scheduler, regions: mgr, tel: tel}, nil
+	return &Runtime{topo: topo, placer: placer, sched: scheduler, regions: mgr, tel: tel, inject: cfg.Inject}, nil
 }
 
 // Topology returns the hardware graph.
@@ -116,6 +122,9 @@ type Report struct {
 	PeakDeviceBytes map[string]int64
 	// FinalOutputs maps sink task → device holding its retained output.
 	FinalOutputs map[string]string
+	// Attempts is the number of runs recovery needed to complete the job
+	// (1 = no retry). Zero when the run was not recovery-managed.
+	Attempts int
 }
 
 // String renders the report as a fixed-width table.
@@ -172,7 +181,11 @@ type run struct {
 	// ns namespaces region owners. Defaults to the job name; the Server
 	// makes it unique per submission so identical jobs can run in one
 	// shared epoch without their owners colliding.
-	ns     string
+	ns string
+	// base is the earliest virtual time any task of this run may start —
+	// recovery retries use it to model per-attempt backoff on the epoch
+	// clock without perturbing batch mates.
+	base   time.Duration
 	cores  map[string][]time.Duration
 	finish map[string]time.Duration
 	// pending maps consumer task → producer task → delivered handle.
@@ -180,18 +193,22 @@ type run struct {
 	globals map[string]*globalEntry
 	report  *Report
 	peak    map[string]int64
-	ck      *Checkpointer // nil unless RunWithRecovery drives the run
+	ck      *Checkpointer // nil unless recovery drives the run
+	ckID    string        // unique per-submission snapshot namespace
+	inject  *fault.Injector
 }
 
 // Run executes the job to completion on the virtual clock and returns the
 // report. On task failure every live region is released before returning
 // (no leaks), and the error identifies the failing task.
 func (rt *Runtime) Run(job *dataflow.Job) (*Report, error) {
-	return rt.execute(job, nil)
+	return rt.execute(job, nil, "")
 }
 
-// execute is the shared engine behind Run and RunWithRecovery.
-func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer) (*Report, error) {
+// execute is the shared engine behind Run and RunWithRecovery. ckID is the
+// snapshot namespace of this submission (one per RunWithRecovery call, so
+// retries restore their own attempt's checkpoints and nobody else's).
+func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer, ckID string) (*Report, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,7 +221,7 @@ func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer) (*Report, error)
 		return nil, err
 	}
 	r := rt.newRun(job, schedule, rt.topo.NewEpoch(), job.Name(), nil)
-	r.ck = ck
+	r.ck, r.ckID = ck, ckID
 	order, err := job.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -246,6 +263,7 @@ func (rt *Runtime) newRun(job *dataflow.Job, schedule *sched.Schedule, epoch *to
 		pending:  make(map[string]map[string]*region.Handle),
 		globals:  make(map[string]*globalEntry),
 		peak:     make(map[string]int64),
+		inject:   rt.inject,
 		report: &Report{
 			Job: job.Name(), Scheduler: rt.sched.Name(), Placer: rt.placer.Name(),
 			Tasks:        make(map[string]*TaskReport),
@@ -292,6 +310,9 @@ func (r *run) execTask(t *dataflow.Task) error {
 	if cores[coreIdx] > start {
 		start = cores[coreIdx]
 	}
+	if r.base > start {
+		start = r.base // recovery backoff: retries begin no earlier
+	}
 
 	ctx := &taskCtx{
 		run: r, task: t, compute: comp,
@@ -301,7 +322,7 @@ func (r *run) execTask(t *dataflow.Task) error {
 	}
 	// Recovery fast path: a checkpointed task is restored, not re-run.
 	if r.ck != nil {
-		if _, ok := r.ck.lookup(r.job.Name(), t.ID()); ok {
+		if _, ok := r.ck.lookup(r.ckID, t.ID()); ok {
 			return r.restoreTask(ctx, t, cores, coreIdx, start)
 		}
 	}
@@ -324,6 +345,14 @@ func (r *run) execTask(t *dataflow.Task) error {
 		delete(r.pending[t.ID()], p.ID())
 	}
 
+	// Fault injection point: a killed task fails exactly as if its body
+	// had crashed after collecting inputs, before any effect.
+	if r.inject != nil {
+		if err := r.inject.Step(r.ns, t.ID()); err != nil {
+			ctx.releaseAll()
+			return err
+		}
+	}
 	// Run the body; structural tasks (nil fn) still cost their declared
 	// Ops and produce their declared output.
 	if fn := t.Fn(); fn != nil {

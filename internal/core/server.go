@@ -12,6 +12,10 @@ package core
 //     exactly like RunAll; separate batches are fully isolated),
 //   - per-job context cancellation and deadlines, honored while queued and
 //     between tasks during execution,
+//   - optional fault-tolerant execution (ServerConfig.Recovery): task
+//     outputs are checkpointed into a shared fault.Store and failed jobs
+//     are retried inside the worker's epoch with checkpointed tasks
+//     restored instead of re-executed (challenge 8(3)),
 //   - graceful drain on Close, and
 //   - per-job admission / queue-wait / rejection counters plus spans in the
 //     runtime's telemetry registry, so the serving path is observable.
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -59,6 +64,35 @@ type ServerConfig struct {
 	// fail fast with ErrQueueFull when the queue is full; true makes it
 	// block until a slot frees or the submission's context ends.
 	Block bool
+	// Recovery, when set, makes every admitted job run fault-tolerantly:
+	// task outputs are checkpointed into the policy's store and a failed
+	// job is retried in place (restored tasks replayed inside the worker's
+	// epoch) up to MaxAttempts. Nil disables recovery: failures surface
+	// directly to the submitter.
+	Recovery *RecoveryPolicy
+}
+
+// RecoveryPolicy configures fault-tolerant serving (ServerConfig.Recovery).
+type RecoveryPolicy struct {
+	// Store is the fault-tolerant far-memory store holding checkpoints,
+	// shared by all workers — the operator's redundancy choice
+	// (fault.NewReplicatedStore, fault.NewErasureStore). Nil builds a
+	// default 2-way replicated store over a private 3-node fabric.
+	Store fault.Store
+	// MaxAttempts caps total runs per submission, first included
+	// (default 3).
+	MaxAttempts int
+	// Backoff is a per-retry delay in virtual time: attempt n of a job
+	// starts no earlier than (n-1)*Backoff on the epoch clock. Batch mates
+	// are unaffected.
+	Backoff time.Duration
+}
+
+// recoveryState is the resolved serving-side recovery machinery.
+type recoveryState struct {
+	ck          *Checkpointer
+	maxAttempts int
+	backoff     time.Duration
 }
 
 // jobOutcome is what a worker delivers back to a waiting Submit.
@@ -82,6 +116,7 @@ type Server struct {
 	rt       *Runtime
 	maxBatch int
 	block    bool
+	rec      *recoveryState // nil: recovery disabled
 
 	queue chan *jobTicket
 	wg    sync.WaitGroup
@@ -117,10 +152,31 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = 8
 	}
+	var rec *recoveryState
+	if cfg.Recovery != nil {
+		store := cfg.Recovery.Store
+		if store == nil {
+			var err error
+			store, err = defaultFaultStore()
+			if err != nil {
+				return nil, err
+			}
+		}
+		maxAttempts := cfg.Recovery.MaxAttempts
+		if maxAttempts <= 0 {
+			maxAttempts = 3
+		}
+		rec = &recoveryState{
+			ck:          NewCheckpointer(store),
+			maxAttempts: maxAttempts,
+			backoff:     cfg.Recovery.Backoff,
+		}
+	}
 	s := &Server{
 		rt:       rt,
 		maxBatch: maxBatch,
 		block:    cfg.Block,
+		rec:      rec,
 		queue:    make(chan *jobTicket, depth),
 	}
 	for i := 0; i < workers; i++ {
@@ -132,6 +188,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // Runtime returns the runtime executing the admitted jobs.
 func (s *Server) Runtime() *Runtime { return s.rt }
+
+// Checkpointer returns the recovery checkpointer, or nil when the server
+// was built without a RecoveryPolicy.
+func (s *Server) Checkpointer() *Checkpointer {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.ck
+}
 
 // Submit admits a job and blocks until its report is ready, admission is
 // refused (ErrQueueFull, ErrServerClosed), or ctx ends. A nil ctx means
@@ -250,10 +315,11 @@ func (s *Server) collect(first *jobTicket) []*jobTicket {
 
 // liveJob is one batch member's execution state.
 type liveJob struct {
-	t      *jobTicket
-	r      *run
-	order  []*dataflow.Task
-	cursor int
+	t       *jobTicket
+	r       *run
+	order   []*dataflow.Task
+	cursor  int
+	attempt int // 1-based; >1 means recovery retried this submission
 }
 
 // runBatch executes one batch in a shared virtual-time epoch. Failures and
@@ -267,7 +333,7 @@ func (s *Server) runBatch(batch []*jobTicket) {
 	// finished here without ever executing.
 	admitted := batch[:0]
 	for _, t := range batch {
-		rt.tel.Add(telemetry.LayerRuntime, "server_queue_wait_ns", dequeued.Sub(t.enqueued).Nanoseconds())
+		rt.tel.Observe(telemetry.LayerRuntime, "server_queue_wait", dequeued.Sub(t.enqueued))
 		if err := t.ctx.Err(); err != nil {
 			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
 			t.done <- jobOutcome{err: err}
@@ -303,7 +369,14 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		// A unique owner namespace per submission lets identical jobs
 		// share the epoch without region-owner collisions.
 		ns := fmt.Sprintf("%s#%d", t.job.Name(), t.seq)
-		lives = append(lives, &liveJob{t: t, r: rt.newRun(t.job, schedule, epoch, ns, cores), order: order})
+		r := rt.newRun(t.job, schedule, epoch, ns, cores)
+		if s.rec != nil {
+			// The snapshot namespace is unique per submission, so
+			// same-named jobs in flight never cross-restore or
+			// cross-Forget each other's checkpoints.
+			r.ck, r.ckID = s.rec.ck, s.rec.ck.runID(t.job.Name())
+		}
+		lives = append(lives, &liveJob{t: t, r: r, order: order, attempt: 1})
 	}
 
 	// Interleaved execution: always advance the job whose next task has
@@ -331,6 +404,7 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		l := lives[best]
 		if err := l.t.ctx.Err(); err != nil {
 			l.r.cleanup()
+			s.forget(l.r)
 			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
 			l.t.done <- jobOutcome{err: err}
 			lives[best] = nil
@@ -340,6 +414,21 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		l.cursor++
 		if err := l.r.execTask(task); err != nil {
 			l.r.cleanup()
+			// Recovery: retry in place, inside this worker's epoch. The
+			// fresh run shares the batch's cores and device queues;
+			// checkpointed tasks are restored instead of re-executed, and
+			// the backoff pushes the retry's start on the virtual clock.
+			if s.rec != nil && l.attempt < s.rec.maxAttempts && l.t.ctx.Err() == nil {
+				rt.tel.Add(telemetry.LayerFault, "job_retries", 1)
+				nr := rt.newRun(l.t.job, l.r.schedule, epoch, l.r.ns, cores)
+				nr.ck, nr.ckID = l.r.ck, l.r.ckID
+				nr.base = l.r.base + s.rec.backoff
+				l.r = nr
+				l.attempt++
+				l.cursor = 0
+				continue
+			}
+			s.forget(l.r)
 			s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), task.ID(), err))
 			lives[best] = nil
 			continue
@@ -357,19 +446,36 @@ func (s *Server) fail(t *jobTicket, err error) {
 	t.done <- jobOutcome{err: err}
 }
 
-// complete finalizes a finished run and delivers its report.
+// forget drops a terminated submission's snapshots so the checkpointer
+// drains back to zero entries. No-op without recovery.
+func (s *Server) forget(r *run) {
+	if s.rec != nil && r.ckID != "" {
+		s.rec.ck.Forget(r.ckID)
+	}
+}
+
+// complete finalizes a finished run and delivers its report. Recovered
+// jobs (attempt > 1) are distinguished in spans and counters so replayed
+// work is visible in the serving profile.
 func (s *Server) complete(l *liveJob) {
 	l.r.cleanup()
+	s.forget(l.r)
 	l.r.report.PeakDeviceBytes = l.r.peak
 	for _, tr := range l.r.report.Tasks {
 		if tr.Finish > l.r.report.Makespan {
 			l.r.report.Makespan = tr.Finish
 		}
 	}
+	l.r.report.Attempts = l.attempt
+	span := "serve"
+	if l.attempt > 1 {
+		span = "serve-recovered"
+		s.rt.tel.Add(telemetry.LayerRuntime, "server_recovered", 1)
+	}
 	s.rt.tel.Add(telemetry.LayerRuntime, "server_completed", 1)
 	s.rt.tel.Record(telemetry.Span{
 		Layer: telemetry.LayerRuntime, Job: l.t.job.Name(),
-		Name: "serve", Start: 0, End: l.r.report.Makespan,
+		Name: span, Start: 0, End: l.r.report.Makespan,
 	})
 	l.t.done <- jobOutcome{report: l.r.report}
 }

@@ -35,6 +35,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	spans    []Span
+	hists    map[string]*Histogram
 }
 
 // Span is one attributed slice of simulated time.
@@ -52,7 +53,7 @@ func (s Span) Duration() time.Duration { return s.End - s.Start }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]int64)}
+	return &Registry{counters: make(map[string]int64), hists: make(map[string]*Histogram)}
 }
 
 // Add increments a named counter. Nil-safe.
@@ -74,6 +75,35 @@ func (r *Registry) Counter(layer Layer, name string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counters[string(layer)+"/"+name]
+}
+
+// Observe records one sample into the named histogram, creating it with
+// DefaultWaitBounds on first use — distribution metrics (queue waits,
+// admission latency) where a sum counter would hide the tail. Nil-safe.
+func (r *Registry) Observe(layer Layer, name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	key := string(layer) + "/" + name
+	r.mu.Lock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = NewHistogram(DefaultWaitBounds()...)
+		r.hists[key] = h
+	}
+	r.mu.Unlock()
+	h.Observe(d)
+}
+
+// Hist returns the named histogram, or nil if nothing was observed under
+// that name. Nil-safe.
+func (r *Registry) Hist(layer Layer, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[string(layer)+"/"+name]
 }
 
 // Record stores a completed span. Nil-safe.
@@ -123,6 +153,7 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.counters = make(map[string]int64)
 	r.spans = nil
+	r.hists = make(map[string]*Histogram)
 	r.mu.Unlock()
 }
 
@@ -171,6 +202,25 @@ func (r *Registry) Report() string {
 	for _, k := range keys {
 		fmt.Fprintf(&b, "  %-32s %d\n", k, counters[k])
 	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+	if len(hists) > 0 {
+		hkeys := make([]string, 0, len(hists))
+		for k := range hists {
+			hkeys = append(hkeys, k)
+		}
+		sort.Strings(hkeys)
+		b.WriteString("histograms:\n")
+		for _, k := range hkeys {
+			h := hists[k]
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%v p50=%v p99=%v max=%v\n",
+				k, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+		}
+	}
 	return b.String()
 }
 
@@ -200,6 +250,16 @@ func DefaultLatencyBounds() []time.Duration {
 	return []time.Duration{
 		100 * time.Nanosecond, time.Microsecond, 10 * time.Microsecond,
 		100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	}
+}
+
+// DefaultWaitBounds spans queueing/wall-clock waits: 1µs … 10s. Registry
+// histograms created implicitly by Observe use these.
+func DefaultWaitBounds() []time.Duration {
+	return []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+		time.Second, 10 * time.Second,
 	}
 }
 

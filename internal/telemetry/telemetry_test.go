@@ -232,3 +232,64 @@ func TestExportChromeTraceGolden(t *testing.T) {
 		t.Errorf("trace mismatch:\ngot:  %s\nwant: %s", got, golden)
 	}
 }
+
+func TestRegistryObserveAndHist(t *testing.T) {
+	r := NewRegistry()
+	if r.Hist(LayerRuntime, "queue_wait") != nil {
+		t.Error("Hist must be nil before any Observe")
+	}
+	r.Observe(LayerRuntime, "queue_wait", 5*time.Microsecond)
+	r.Observe(LayerRuntime, "queue_wait", 2*time.Millisecond)
+	r.Observe(LayerRuntime, "queue_wait", 80*time.Millisecond)
+	h := r.Hist(LayerRuntime, "queue_wait")
+	if h == nil {
+		t.Fatal("Hist must return the implicitly created histogram")
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if h.Max() != 80*time.Millisecond {
+		t.Errorf("max = %v, want 80ms", h.Max())
+	}
+	if p50 := h.Quantile(0.50); p50 != 10*time.Millisecond {
+		t.Errorf("p50 = %v, want 10ms bucket bound", p50)
+	}
+	// Same (layer, name) accumulates into one histogram; a different layer
+	// gets its own.
+	r.Observe(LayerFault, "queue_wait", time.Second)
+	if h.Count() != 3 {
+		t.Error("different layer leaked into existing histogram")
+	}
+	if fh := r.Hist(LayerFault, "queue_wait"); fh == nil || fh.Count() != 1 {
+		t.Error("per-layer histogram missing")
+	}
+}
+
+func TestRegistryHistNilSafe(t *testing.T) {
+	var r *Registry
+	r.Observe(LayerRuntime, "x", time.Second) // must not panic
+	if r.Hist(LayerRuntime, "x") != nil {
+		t.Error("nil registry must report no histograms")
+	}
+}
+
+func TestReportIncludesHistograms(t *testing.T) {
+	r := NewRegistry()
+	if strings.Contains(r.Report(), "histograms:") {
+		t.Error("empty registry must omit the histograms section")
+	}
+	r.Observe(LayerRuntime, "queue_wait", 3*time.Millisecond)
+	rep := r.Report()
+	if !strings.Contains(rep, "histograms:") || !strings.Contains(rep, "runtime/queue_wait") {
+		t.Errorf("report missing histogram section:\n%s", rep)
+	}
+	for _, field := range []string{"n=1", "p50=", "p99=", "max="} {
+		if !strings.Contains(rep, field) {
+			t.Errorf("report missing %q:\n%s", field, rep)
+		}
+	}
+	r.Reset()
+	if r.Hist(LayerRuntime, "queue_wait") != nil {
+		t.Error("Reset must clear histograms")
+	}
+}
