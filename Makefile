@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve serve-recover clean
+.PHONY: all build vet test race bench bench-smoke serve serve-recover clean
 
 all: build vet test race
 
@@ -23,6 +23,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short-mode smoke of the wavefront-executor benchmarks (wide-DAG speedup
+# curve + serving path), with machine-readable results for CI artifacts.
+# Each sub-benchmark also asserts the virtual makespan is identical across
+# pool sizes, so this doubles as a determinism gate.
+bench-smoke:
+	$(GO) test -run XXX -bench 'BenchmarkWideDAGParallel|BenchmarkServeParallel' \
+		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_parallel.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | head -20 || true
 
 # Smoke-run the admission-controlled serving mode.
 serve:

@@ -66,6 +66,7 @@ func main() {
 	recover := flag.Bool("recover", false, "checkpointed recovery: retry failed jobs, restoring completed tasks")
 	faultRate := flag.Float64("faultrate", 0, "inject one deterministic fault into this fraction of task sites (0..1)")
 	maxAttempts := flag.Int("maxattempts", 3, "recovery: total runs per submission")
+	execWorkers := flag.Int("execworkers", 0, "wavefront executor pool size per run (0 = GOMAXPROCS); virtual time is identical for every value")
 	flag.Parse()
 
 	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
@@ -125,7 +126,7 @@ func main() {
 	}
 	rt, err := core.New(core.Config{
 		Topology: topo, Placer: placer, Scheduler: scheduler, Telemetry: tel,
-		Inject: inject,
+		Inject: inject, Workers: *execWorkers,
 	})
 	if err != nil {
 		fatal(err)

@@ -153,6 +153,23 @@ func (c *Checkpointer) Forget(runID string) {
 	}
 }
 
+// drop removes a single task's snapshot. The wavefront executor uses it
+// after a failure to trim snapshots that ranks *above* the failing task
+// produced out of sequential order — a sequential run would never have
+// executed them, so recovery must not replay them.
+func (c *Checkpointer) drop(runID, task string) {
+	key := ckKey(runID, task)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	if ok && e.size > 0 {
+		c.store.Delete(e.obj) //nolint:errcheck // best-effort GC
+	}
+}
+
 // Snapshots returns the number of stored entries (tests, reports).
 func (c *Checkpointer) Snapshots() int {
 	c.mu.Lock()
@@ -228,22 +245,30 @@ func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
 	return nil
 }
 
-// restoreTask replays a checkpointed task: inputs are discarded (their
-// producer's effect is already captured downstream), the stored output is
-// materialized into a fresh region, and delivery proceeds as usual — even
-// for an empty payload, so successors that legitimately expect the region
-// are never starved.
-func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration, coreIdx int, start time.Duration) error {
+// restoreTaskAt replays a checkpointed task on a wavefront worker: inputs
+// are discarded (their producer's effect is already captured downstream),
+// the stored output is materialized into a fresh region, and delivery
+// proceeds as usual — even for an empty payload, so successors that
+// legitimately expect the region are never starved. The dispatcher folds
+// the returned finish time and report into the run, like any executed task.
+func (r *run) restoreTaskAt(ctx *taskCtx, t *dataflow.Task, start time.Duration) (time.Duration, *TaskReport, error) {
 	for _, p := range t.Preds() {
-		if h := r.pending[t.ID()][p.ID()]; h != nil {
-			h.Release() //nolint:errcheck // discarding a superseded input
+		r.smu.Lock()
+		h := r.pending[t.ID()][p.ID()]
+		if h != nil {
 			delete(r.pending[t.ID()], p.ID())
+		}
+		r.smu.Unlock()
+		if h != nil {
+			if h.Release() == nil { //nolint:errcheck // discarding a superseded input
+				ctx.noteRelease(h)
+			}
 		}
 	}
 	// Adopt inputs list as empty: the restored task does not run.
 	data, hasOutput, d, err := r.ck.restore(r.ckID, t.ID())
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	ctx.now += d
 	if hasOutput {
@@ -255,26 +280,26 @@ func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration,
 		}
 		out, err := ctx.Output(size)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		if len(data) > 0 {
 			f := out.WriteAsync(ctx.now, 0, data)
 			now, err := f.Await(ctx.now)
 			if err != nil {
-				return err
+				ctx.releaseAll()
+				return 0, nil, err
 			}
 			ctx.now = now
 		}
 		if err := r.deliverOutput(ctx, t); err != nil {
 			ctx.releaseAll()
-			return err
+			return 0, nil, err
 		}
 	}
 	ctx.Log("restored from checkpoint")
 	r.rt.tel.Add(telemetry.LayerFault, "restores", 1)
-	cores[coreIdx] = ctx.now
-	r.finish[t.ID()] = ctx.now
-	r.report.Tasks[t.ID()] = &TaskReport{
+	r.flushEvents(ctx)
+	rep := &TaskReport{
 		Task: t.ID(), Compute: ctx.compute.ID,
 		Start: start, Finish: ctx.now,
 		Regions: ctx.regions, Logs: ctx.logs,
@@ -283,5 +308,5 @@ func (r *run) restoreTask(ctx *taskCtx, t *dataflow.Task, cores []time.Duration,
 		Layer: telemetry.LayerFault, Job: r.job.Name(), Task: t.ID(),
 		Name: "restore", Start: start, End: ctx.now,
 	})
-	return nil
+	return ctx.now, rep, nil
 }

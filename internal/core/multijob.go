@@ -143,59 +143,40 @@ func (rt *Runtime) RunAll(jobs []*dataflow.Job, cfg MultiConfig) (*MultiReport, 
 	load := rt.newLoad()
 	runs := make([]*run, 0, len(jobs))
 	orders := make([][]*dataflow.Task, 0, len(jobs))
+	rankSets := make([]map[string]int, 0, len(jobs))
 	for _, j := range jobs {
 		schedule, err := rt.scheduleInto(j, load)
 		if err != nil {
 			return nil, fmt.Errorf("core: scheduling %s: %w", j.Name(), err)
 		}
 		r := rt.newRun(j, schedule, epoch, j.Name(), cores)
-		order, err := j.TopoOrder()
+		ranks, order, err := sched.Ranks(j)
 		if err != nil {
 			return nil, err
 		}
 		runs = append(runs, r)
 		orders = append(orders, order)
+		rankSets = append(rankSets, ranks)
 	}
 
-	// Interleaved execution: always advance the job whose next task has
-	// the earliest scheduled start (fair, deterministic interleaving).
-	cursors := make([]int, len(runs))
-	for {
-		best := -1
-		var bestStart time.Duration
-		for i, r := range runs {
-			if cursors[i] >= len(orders[i]) {
-				continue
-			}
-			next := orders[i][cursors[i]]
-			start := r.schedule.Assignments[next.ID()].Start
-			if best < 0 || start < bestStart {
-				best, bestStart = i, start
-			}
-		}
-		if best < 0 {
-			break
-		}
-		r := runs[best]
-		t := orders[best][cursors[best]]
-		cursors[best]++
-		if err := r.execTask(t); err != nil {
+	// Each job's DAG executes as a parallel wavefront over the shared core
+	// clocks; jobs run in admission order, and every completed job's clock
+	// views are absorbed into the shared epoch, so later jobs queue behind
+	// its device backlog — contention stays emergent and deterministic.
+	for i, r := range runs {
+		if failed, err := r.runWavefront(orders[i], rankSets[i], rt.workers, nil); err != nil {
 			for _, rr := range runs {
 				rr.cleanup()
 			}
-			return nil, fmt.Errorf("core: job %s task %s: %w", r.job.Name(), t.ID(), err)
+			if failed != "" {
+				return nil, fmt.Errorf("core: job %s task %s: %w", r.job.Name(), failed, err)
+			}
+			return nil, fmt.Errorf("core: job %s: %w", r.job.Name(), err)
 		}
 	}
 
 	out := &MultiReport{Jobs: make(map[string]*JobResult, len(runs))}
 	for _, r := range runs {
-		r.cleanup()
-		r.report.PeakDeviceBytes = r.peak
-		for _, tr := range r.report.Tasks {
-			if tr.Finish > r.report.Makespan {
-				r.report.Makespan = tr.Finish
-			}
-		}
 		if r.report.Makespan > out.Makespan {
 			out.Makespan = r.report.Makespan
 		}

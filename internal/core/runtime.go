@@ -20,8 +20,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	goruntime "runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dataflow"
@@ -46,6 +48,11 @@ type Config struct {
 	// fail it deterministically (fault.ErrInjected) — the chaos hook tests
 	// and disaggsim use to exercise recovery. Nil injects nothing.
 	Inject *fault.Injector
+	// Workers bounds the wavefront executor's worker pool: how many tasks
+	// of one run may execute their real work (transfers, copies, bodies,
+	// checkpoint I/O) concurrently. Virtual time is identical for every
+	// value — see wavefront.go. Zero or negative defaults to GOMAXPROCS.
+	Workers int
 }
 
 // Runtime is the RTS instance. Run is safe for concurrent submission from
@@ -59,6 +66,7 @@ type Runtime struct {
 	regions *region.Manager
 	tel     *telemetry.Registry
 	inject  *fault.Injector
+	workers int
 }
 
 // New builds a runtime.
@@ -87,8 +95,15 @@ func New(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{topo: topo, placer: placer, sched: scheduler, regions: mgr, tel: tel, inject: cfg.Inject}, nil
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	return &Runtime{topo: topo, placer: placer, sched: scheduler, regions: mgr, tel: tel, inject: cfg.Inject, workers: workers}, nil
 }
+
+// Workers reports the wavefront executor's worker-pool bound.
+func (rt *Runtime) Workers() int { return rt.workers }
 
 // Topology returns the hardware graph.
 func (rt *Runtime) Topology() *topology.Topology { return rt.topo }
@@ -125,6 +140,11 @@ type Report struct {
 	// Attempts is the number of runs recovery needed to complete the job
 	// (1 = no retry). Zero when the run was not recovery-managed.
 	Attempts int
+	// AttemptWaits records the virtual backoff each retry waited before
+	// starting: AttemptWaits[i] is the delay applied ahead of attempt i+2.
+	// Empty when the job completed on its first attempt (or recovery was
+	// not policy-managed).
+	AttemptWaits []time.Duration
 }
 
 // String renders the report as a fixed-width table.
@@ -188,14 +208,21 @@ type run struct {
 	base   time.Duration
 	cores  map[string][]time.Duration
 	finish map[string]time.Duration
+	// smu guards the cross-task shared maps (pending, globals) and the
+	// memory ledger against concurrent wavefront task goroutines. It is a
+	// leaf lock: nothing is called while holding it.
+	smu sync.Mutex
 	// pending maps consumer task → producer task → delivered handle.
 	pending map[string]map[string]*region.Handle
 	globals map[string]*globalEntry
-	report  *Report
-	peak    map[string]int64
-	ck      *Checkpointer // nil unless recovery drives the run
-	ckID    string        // unique per-submission snapshot namespace
-	inject  *fault.Injector
+	// events is the virtual memory ledger completed tasks journal into;
+	// computePeak sweeps it deterministically at run end (wavefront.go).
+	events []memEvent
+	report *Report
+	peak   map[string]int64
+	ck     *Checkpointer // nil unless recovery drives the run
+	ckID   string        // unique per-submission snapshot namespace
+	inject *fault.Injector
 }
 
 // Run executes the job to completion on the virtual clock and returns the
@@ -220,24 +247,17 @@ func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer, ckID string) (*R
 	if err != nil {
 		return nil, err
 	}
-	r := rt.newRun(job, schedule, rt.topo.NewEpoch(), job.Name(), nil)
-	r.ck, r.ckID = ck, ckID
-	order, err := job.TopoOrder()
+	ranks, order, err := sched.Ranks(job)
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range order {
-		if err := r.execTask(t); err != nil {
-			r.cleanup()
-			return nil, fmt.Errorf("core: task %s: %w", t.ID(), err)
+	r := rt.newRun(job, schedule, rt.topo.NewEpoch(), job.Name(), nil)
+	r.ck, r.ckID = ck, ckID
+	if failed, err := r.runWavefront(order, ranks, rt.workers, nil); err != nil {
+		if failed != "" {
+			return nil, fmt.Errorf("core: task %s: %w", failed, err)
 		}
-	}
-	r.cleanup()
-	r.report.PeakDeviceBytes = r.peak
-	for _, tr := range r.report.Tasks {
-		if tr.Finish > r.report.Makespan {
-			r.report.Makespan = tr.Finish
-		}
+		return nil, err
 	}
 	return r.report, nil
 }
@@ -272,109 +292,85 @@ func (rt *Runtime) newRun(job *dataflow.Job, schedule *sched.Schedule, epoch *to
 	}
 }
 
-// samplePeak records per-device high-water allocation.
-func (r *run) samplePeak() {
-	for dev, b := range r.rt.regions.DeviceBytes() {
-		if b > r.peak[dev] {
-			r.peak[dev] = b
-		}
-	}
-}
-
-// execTask runs one task at its scheduled placement.
-func (r *run) execTask(t *dataflow.Task) error {
-	asg, ok := r.schedule.Assignments[t.ID()]
-	if !ok {
-		return errors.New("core: task missing from schedule")
-	}
-	comp, ok := r.rt.topo.Compute(asg.Compute)
-	if !ok {
-		return fmt.Errorf("core: scheduled on unknown device %s", asg.Compute)
-	}
-	// Ready when all predecessors finished.
-	var ready time.Duration
-	for _, p := range t.Preds() {
-		if f := r.finish[p.ID()]; f > ready {
-			ready = f
-		}
-	}
-	// Earliest free core on the assigned device.
-	cores := r.cores[asg.Compute]
-	coreIdx := 0
-	for i := range cores {
-		if cores[i] < cores[coreIdx] {
-			coreIdx = i
-		}
-	}
-	start := ready
-	if cores[coreIdx] > start {
-		start = cores[coreIdx]
-	}
-	if r.base > start {
-		start = r.base // recovery backoff: retries begin no earlier
-	}
-
+// execTaskAt runs one task at its scheduled placement, starting at the
+// virtual time the dispatcher's core claim granted. It runs on a wavefront
+// worker goroutine: all cross-task state it touches is either owned by this
+// task (ctx, its clock view) or guarded (r.smu for pending/globals/ledger,
+// w.mu inside fences). It returns the task's virtual finish time and report
+// — both non-nil even when a trailing release failed, matching the
+// sequential engine's accounting — or a nil report on failure before
+// completion.
+func (r *run) execTaskAt(w *wavefront, k int, t *dataflow.Task, view *topology.TaskView, start time.Duration) (time.Duration, *TaskReport, error) {
+	asg := r.schedule.Assignments[t.ID()]
+	comp, _ := r.rt.topo.Compute(asg.Compute)
 	ctx := &taskCtx{
 		run: r, task: t, compute: comp,
 		now:     start,
 		owner:   region.Owner(r.ns + "/" + t.ID()),
 		regions: make(map[string]string),
+		view:    view,
+		rank:    k,
 	}
+	ctx.fence = func() error { return w.fence(k) }
 	// Recovery fast path: a checkpointed task is restored, not re-run.
-	if r.ck != nil {
-		if _, ok := r.ck.lookup(r.ckID, t.ID()); ok {
-			return r.restoreTask(ctx, t, cores, coreIdx, start)
-		}
+	if w.restored[k] {
+		return r.restoreTaskAt(ctx, t, start)
 	}
 	// Collect inputs: transfer exclusive outputs from predecessors (the
-	// Fig. 4 handover), adopt shared ones as-is.
+	// Fig. 4 handover), adopt shared ones as-is. Handles are rebound to
+	// this task's clock view and fence as they cross the task boundary.
 	for _, p := range t.Preds() {
+		r.smu.Lock()
 		h := r.pending[t.ID()][p.ID()]
+		if h != nil {
+			delete(r.pending[t.ID()], p.ID())
+		}
+		r.smu.Unlock()
 		if h == nil {
 			continue
 		}
+		h.SetClock(view)
+		h.SetFence(ctx.fence)
 		if cls, err := h.Class(); err == nil && cls == props.Transfer {
+			fromDev, _ := h.DeviceID()
 			nh, done, err := h.Transfer(ctx.now, ctx.owner, asg.Compute)
 			if err != nil {
-				return fmt.Errorf("input transfer from %s: %w", p.ID(), err)
+				ctx.inputs = append(ctx.inputs, h) // keep it releasable
+				ctx.releaseAll()
+				return 0, nil, fmt.Errorf("input transfer from %s: %w", p.ID(), err)
 			}
 			ctx.now = done
 			h = nh
+			if toDev, err := h.DeviceID(); err == nil && toDev != fromDev {
+				ctx.noteMove(h)
+			}
 		}
 		ctx.inputs = append(ctx.inputs, h)
-		delete(r.pending[t.ID()], p.ID())
 	}
 
-	// Fault injection point: a killed task fails exactly as if its body
-	// had crashed after collecting inputs, before any effect.
-	if r.inject != nil {
-		if err := r.inject.Step(r.ns, t.ID()); err != nil {
-			ctx.releaseAll()
-			return err
-		}
-	}
+	// Fault injection happened eagerly at wavefront start (rank-ordered
+	// verdicts, see runWavefront): a task that reaches this point passed.
 	// Run the body; structural tasks (nil fn) still cost their declared
 	// Ops and produce their declared output.
 	if fn := t.Fn(); fn != nil {
 		if err := fn(ctx); err != nil {
 			ctx.releaseAll()
-			return err
+			return 0, nil, err
 		}
 	}
 	ctx.Charge(t.Props().Ops)
 	if ctx.output == nil && t.Props().OutputBytes > 0 && len(t.Succs()) > 0 {
 		if _, err := ctx.Output(t.Props().OutputBytes); err != nil {
 			ctx.releaseAll()
-			return fmt.Errorf("implicit output: %w", err)
+			return 0, nil, fmt.Errorf("implicit output: %w", err)
 		}
 	}
-	r.samplePeak()
 
 	// Snapshot the output before it is handed over (fault tolerance).
 	if r.ck != nil {
 		if err := r.checkpointTask(ctx, t); err != nil {
 			ctx.releaseAll()
-			return err
+			return 0, nil, err
 		}
 	}
 
@@ -382,7 +378,7 @@ func (r *run) execTask(t *dataflow.Task) error {
 	if ctx.output != nil {
 		if err := r.deliverOutput(ctx, t); err != nil {
 			ctx.releaseAll()
-			return err
+			return 0, nil, err
 		}
 	}
 	// Scratch dies with the task; inputs were consumed.
@@ -398,17 +394,19 @@ func (r *run) execTask(t *dataflow.Task) error {
 	sort.Strings(names)
 	var relErrs []error
 	for _, name := range names {
-		if err := ctx.globalShares[name].Release(); err != nil {
+		h := ctx.globalShares[name]
+		if err := h.Release(); err != nil {
 			relErrs = append(relErrs, fmt.Errorf("releasing global %s: %w", name, err))
+		} else {
+			ctx.noteRelease(h)
 		}
 	}
 
 	// The task did run to completion: record its report and finish time
 	// even when a share release failed, so downstream accounting (makespan,
 	// spans, reports) stays consistent.
-	cores[coreIdx] = ctx.now
-	r.finish[t.ID()] = ctx.now
-	r.report.Tasks[t.ID()] = &TaskReport{
+	r.flushEvents(ctx)
+	rep := &TaskReport{
 		Task: t.ID(), Compute: asg.Compute,
 		Start: start, Finish: ctx.now,
 		Regions: ctx.regions, Logs: ctx.logs,
@@ -417,7 +415,7 @@ func (r *run) execTask(t *dataflow.Task) error {
 		Layer: telemetry.LayerRuntime, Job: r.job.Name(), Task: t.ID(),
 		Name: "exec", Start: start, End: ctx.now,
 	})
-	return errors.Join(relErrs...)
+	return ctx.now, rep, errors.Join(relErrs...)
 }
 
 // deliverOutput routes a finished task's output region to its successors:
@@ -431,16 +429,20 @@ func (r *run) deliverOutput(ctx *taskCtx, t *dataflow.Task) error {
 		if err != nil {
 			return err
 		}
+		r.smu.Lock()
 		r.report.FinalOutputs[t.ID()] = dev
 		// Retain until cleanup.
 		r.globals["__final__/"+t.ID()] = &globalEntry{handle: ctx.output}
+		r.smu.Unlock()
 		ctx.output = nil
 		return nil
 	case 1:
+		r.smu.Lock()
 		if r.pending[succs[0].ID()] == nil {
 			r.pending[succs[0].ID()] = make(map[string]*region.Handle)
 		}
 		r.pending[succs[0].ID()][t.ID()] = ctx.output
+		r.smu.Unlock()
 		ctx.output = nil
 		return nil
 	default:
@@ -450,15 +452,20 @@ func (r *run) deliverOutput(ctx *taskCtx, t *dataflow.Task) error {
 			if err != nil {
 				return fmt.Errorf("sharing output with %s: %w", s.ID(), err)
 			}
+			ctx.noteShare(sh)
+			r.smu.Lock()
 			if r.pending[s.ID()] == nil {
 				r.pending[s.ID()] = make(map[string]*region.Handle)
 			}
 			r.pending[s.ID()][t.ID()] = sh
+			r.smu.Unlock()
 		}
 		// The producer's own claim ends; the shares keep the region alive.
-		if err := ctx.output.Release(); err != nil {
+		out := ctx.output
+		if err := out.Release(); err != nil {
 			return err
 		}
+		ctx.noteRelease(out)
 		ctx.output = nil
 		return nil
 	}
@@ -467,16 +474,20 @@ func (r *run) deliverOutput(ctx *taskCtx, t *dataflow.Task) error {
 // cleanup releases everything the run still holds: job globals, retained
 // final outputs, and any undelivered pending handles (failure paths).
 func (r *run) cleanup() {
-	for _, g := range r.globals {
+	r.smu.Lock()
+	globals := r.globals
+	pending := r.pending
+	r.globals = map[string]*globalEntry{}
+	r.pending = map[string]map[string]*region.Handle{}
+	r.smu.Unlock()
+	for _, g := range globals {
 		if g.handle != nil {
 			g.handle.Release() //nolint:errcheck // best-effort teardown
 		}
 	}
-	r.globals = map[string]*globalEntry{}
-	for _, m := range r.pending {
+	for _, m := range pending {
 		for _, h := range m {
 			h.Release() //nolint:errcheck // best-effort teardown
 		}
 	}
-	r.pending = map[string]map[string]*region.Handle{}
 }

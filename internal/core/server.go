@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/fault"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -64,6 +65,12 @@ type ServerConfig struct {
 	// fail fast with ErrQueueFull when the queue is full; true makes it
 	// block until a slot frees or the submission's context ends.
 	Block bool
+	// MaxLinger bounds how long a worker waits for the queue to yield more
+	// jobs before launching a partial batch. Zero (the default) keeps
+	// collection opportunistic: the worker grabs whatever is already queued
+	// and launches immediately. A positive linger trades a bounded amount
+	// of queue wait for fuller batches.
+	MaxLinger time.Duration
 	// Recovery, when set, makes every admitted job run fault-tolerantly:
 	// task outputs are checkpointed into the policy's store and a failed
 	// job is retried in place (restored tasks replayed inside the worker's
@@ -82,10 +89,13 @@ type RecoveryPolicy struct {
 	// MaxAttempts caps total runs per submission, first included
 	// (default 3).
 	MaxAttempts int
-	// Backoff is a per-retry delay in virtual time: attempt n of a job
-	// starts no earlier than (n-1)*Backoff on the epoch clock. Batch mates
-	// are unaffected.
+	// Backoff is the base per-retry delay in virtual time. Retries back off
+	// exponentially: the wait before attempt n+1 is Backoff·2^(n-1), capped
+	// at BackoffCap. Batch mates are unaffected; the waits a submission
+	// accumulated are reported in Report.AttemptWaits.
 	Backoff time.Duration
+	// BackoffCap bounds the exponential growth (default 8×Backoff).
+	BackoffCap time.Duration
 }
 
 // recoveryState is the resolved serving-side recovery machinery.
@@ -93,6 +103,26 @@ type recoveryState struct {
 	ck          *Checkpointer
 	maxAttempts int
 	backoff     time.Duration
+	cap         time.Duration
+}
+
+// backoffWait is the virtual-time delay inserted before the retry that
+// follows a failed attempt (1-based): backoff·2^(attempt-1), capped.
+func backoffWait(rec *recoveryState, attempt int) time.Duration {
+	if rec.backoff <= 0 {
+		return 0
+	}
+	w := rec.backoff
+	for i := 1; i < attempt; i++ {
+		w <<= 1
+		if w >= rec.cap || w <= 0 { // cap reached or shift overflowed
+			return rec.cap
+		}
+	}
+	if w > rec.cap {
+		return rec.cap
+	}
+	return w
 }
 
 // jobOutcome is what a worker delivers back to a waiting Submit.
@@ -113,10 +143,11 @@ type jobTicket struct {
 // Server is the admission-controlled serving engine. It is safe for
 // concurrent use by multiple goroutines.
 type Server struct {
-	rt       *Runtime
-	maxBatch int
-	block    bool
-	rec      *recoveryState // nil: recovery disabled
+	rt        *Runtime
+	maxBatch  int
+	block     bool
+	maxLinger time.Duration
+	rec       *recoveryState // nil: recovery disabled
 
 	queue chan *jobTicket
 	wg    sync.WaitGroup
@@ -166,18 +197,24 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		if maxAttempts <= 0 {
 			maxAttempts = 3
 		}
+		cap := cfg.Recovery.BackoffCap
+		if cap <= 0 {
+			cap = 8 * cfg.Recovery.Backoff
+		}
 		rec = &recoveryState{
 			ck:          NewCheckpointer(store),
 			maxAttempts: maxAttempts,
 			backoff:     cfg.Recovery.Backoff,
+			cap:         cap,
 		}
 	}
 	s := &Server{
-		rt:       rt,
-		maxBatch: maxBatch,
-		block:    cfg.Block,
-		rec:      rec,
-		queue:    make(chan *jobTicket, depth),
+		rt:        rt,
+		maxBatch:  maxBatch,
+		block:     cfg.Block,
+		maxLinger: cfg.MaxLinger,
+		rec:       rec,
+		queue:     make(chan *jobTicket, depth),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -295,10 +332,28 @@ func (s *Server) worker() {
 	}
 }
 
-// collect opportunistically folds whatever is already queued behind first
-// into one batch, up to MaxBatch — the batch shares one virtual-time epoch.
+// collect folds queued jobs behind first into one batch, up to MaxBatch —
+// the batch shares one virtual-time epoch. With MaxLinger zero the fold is
+// opportunistic (whatever is already queued); a positive linger waits that
+// long for stragglers, bounding the queue wait it can add to first.
 func (s *Server) collect(first *jobTicket) []*jobTicket {
 	batch := []*jobTicket{first}
+	if s.maxLinger > 0 {
+		timer := time.NewTimer(s.maxLinger)
+		defer timer.Stop()
+		for len(batch) < s.maxBatch {
+			select {
+			case t, ok := <-s.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, t)
+			case <-timer.C:
+				return batch
+			}
+		}
+		return batch
+	}
 	for len(batch) < s.maxBatch {
 		select {
 		case t, ok := <-s.queue:
@@ -318,8 +373,9 @@ type liveJob struct {
 	t       *jobTicket
 	r       *run
 	order   []*dataflow.Task
-	cursor  int
-	attempt int // 1-based; >1 means recovery retried this submission
+	ranks   map[string]int
+	waits   []time.Duration // virtual backoff applied before each retry
+	attempt int             // 1-based; >1 means recovery retried this submission
 }
 
 // runBatch executes one batch in a shared virtual-time epoch. Failures and
@@ -361,7 +417,7 @@ func (s *Server) runBatch(batch []*jobTicket) {
 			s.fail(t, fmt.Errorf("core: scheduling %s: %w", t.job.Name(), err))
 			continue
 		}
-		order, err := t.job.TopoOrder()
+		ranks, order, err := sched.Ranks(t.job)
 		if err != nil {
 			s.fail(t, err)
 			continue
@@ -376,66 +432,50 @@ func (s *Server) runBatch(batch []*jobTicket) {
 			// cross-Forget each other's checkpoints.
 			r.ck, r.ckID = s.rec.ck, s.rec.ck.runID(t.job.Name())
 		}
-		lives = append(lives, &liveJob{t: t, r: r, order: order, attempt: 1})
+		lives = append(lives, &liveJob{t: t, r: r, order: order, ranks: ranks, attempt: 1})
 	}
 
-	// Interleaved execution: always advance the job whose next task has
-	// the earliest scheduled start (fair, deterministic interleaving).
-	for {
-		best := -1
-		var bestStart time.Duration
-		for i, l := range lives {
-			if l == nil {
-				continue
-			}
-			if l.cursor >= len(l.order) {
+	// Each job's DAG executes as a parallel wavefront against the batch's
+	// shared cores and epoch; jobs run in admission order, each queueing
+	// behind the clock views its completed batch mates absorbed into the
+	// epoch. Failures and retries stay per job.
+	for _, l := range lives {
+		for {
+			failed, err := l.r.runWavefront(l.order, l.ranks, rt.workers, l.t.ctx.Err)
+			if err == nil {
 				s.complete(l)
-				lives[i] = nil
-				continue
+				break
 			}
-			start := l.r.schedule.Assignments[l.order[l.cursor].ID()].Start
-			if best < 0 || start < bestStart {
-				best, bestStart = i, start
+			if failed == "" && l.t.ctx.Err() != nil {
+				// Canceled mid-wavefront: the run was already cleaned up.
+				s.forget(l.r)
+				rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
+				l.t.done <- jobOutcome{err: err}
+				break
 			}
-		}
-		if best < 0 {
-			break
-		}
-		l := lives[best]
-		if err := l.t.ctx.Err(); err != nil {
-			l.r.cleanup()
-			s.forget(l.r)
-			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
-			l.t.done <- jobOutcome{err: err}
-			lives[best] = nil
-			continue
-		}
-		task := l.order[l.cursor]
-		l.cursor++
-		if err := l.r.execTask(task); err != nil {
-			l.r.cleanup()
 			// Recovery: retry in place, inside this worker's epoch. The
 			// fresh run shares the batch's cores and device queues;
 			// checkpointed tasks are restored instead of re-executed, and
-			// the backoff pushes the retry's start on the virtual clock.
+			// the exponential backoff pushes the retry's start on the
+			// virtual clock.
 			if s.rec != nil && l.attempt < s.rec.maxAttempts && l.t.ctx.Err() == nil {
 				rt.tel.Add(telemetry.LayerFault, "job_retries", 1)
+				wait := backoffWait(s.rec, l.attempt)
 				nr := rt.newRun(l.t.job, l.r.schedule, epoch, l.r.ns, cores)
 				nr.ck, nr.ckID = l.r.ck, l.r.ckID
-				nr.base = l.r.base + s.rec.backoff
+				nr.base = l.r.base + wait
+				l.waits = append(l.waits, wait)
 				l.r = nr
 				l.attempt++
-				l.cursor = 0
 				continue
 			}
 			s.forget(l.r)
-			s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), task.ID(), err))
-			lives[best] = nil
-			continue
-		}
-		if l.cursor >= len(l.order) {
-			s.complete(l)
-			lives[best] = nil
+			if failed != "" {
+				s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), failed, err))
+			} else {
+				s.fail(l.t, err)
+			}
+			break
 		}
 	}
 }
@@ -458,15 +498,11 @@ func (s *Server) forget(r *run) {
 // jobs (attempt > 1) are distinguished in spans and counters so replayed
 // work is visible in the serving profile.
 func (s *Server) complete(l *liveJob) {
-	l.r.cleanup()
+	// runWavefront already released the run's regions and finalized its
+	// peak-memory and makespan figures.
 	s.forget(l.r)
-	l.r.report.PeakDeviceBytes = l.r.peak
-	for _, tr := range l.r.report.Tasks {
-		if tr.Finish > l.r.report.Makespan {
-			l.r.report.Makespan = tr.Finish
-		}
-	}
 	l.r.report.Attempts = l.attempt
+	l.r.report.AttemptWaits = l.waits
 	span := "serve"
 	if l.attempt > 1 {
 		span = "serve-recovered"

@@ -29,6 +29,28 @@ type taskCtx struct {
 	globalShares map[string]*region.Handle
 	regions      map[string]string // label → device (for the report)
 	logs         []string
+
+	// view is the task's private causal clock view (wavefront executor);
+	// nil falls back to the run's shared epoch. rank is the task's
+	// deterministic topological rank, fence its rank-order barrier — both
+	// are installed by the dispatcher.
+	view  *topology.TaskView
+	rank  int
+	fence func() error
+	// events is the task's virtual memory-ledger journal, published to the
+	// run on successful completion (wavefront.go); evseq orders same-time
+	// entries within the task.
+	events []memEvent
+	evseq  int
+}
+
+// clock is the virtual-time view this task's allocations and accesses are
+// priced against.
+func (c *taskCtx) clock() topology.VClock {
+	if c.view != nil {
+		return c.view
+	}
+	return c.run.epoch
 }
 
 // Now implements dataflow.Ctx.
@@ -88,11 +110,13 @@ func (c *taskCtx) Scratch(name string, size int64) (*region.Handle, error) {
 	h, err := c.run.rt.regions.Alloc(region.Spec{
 		Name: name, Class: class, Size: size,
 		Req: req, Owner: c.owner, Compute: c.compute.ID, Now: c.now,
-		Epoch: c.run.epoch,
+		Clock: c.clock(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	h.SetFence(c.fence)
+	c.noteAlloc(h, size)
 	c.scratch = append(c.scratch, h)
 	c.noteRegion(name, h)
 	return h, nil
@@ -117,11 +141,13 @@ func (c *taskCtx) Output(size int64) (*region.Handle, error) {
 	h, err := c.run.rt.regions.Alloc(region.Spec{
 		Name: c.task.ID() + "/out", Class: class, Size: size,
 		Req: req, Owner: c.owner, Compute: c.compute.ID, Now: c.now,
-		Epoch: c.run.epoch,
+		Clock: c.clock(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	h.SetFence(c.fence)
+	c.noteAlloc(h, size)
 	c.output = h
 	c.noteRegion("out", h)
 	return h, nil
@@ -142,7 +168,26 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 	if h, ok := c.globalShares[name]; ok {
 		return h, nil
 	}
+	c.run.smu.Lock()
 	g, ok := c.run.globals[name]
+	c.run.smu.Unlock()
+	if !ok {
+		// First use: fence on rank order so the creating task — whose
+		// compute device anchors the placement — is the same task a
+		// sequential run would pick, regardless of wall-clock arrival.
+		// After the fence every lower rank has completed, so a re-check
+		// either finds the global or makes this task its deterministic
+		// creator (two concurrent creators are impossible: the higher rank
+		// blocks at its fence until the lower one finishes).
+		if c.fence != nil {
+			if err := c.fence(); err != nil {
+				return nil, err
+			}
+			c.run.smu.Lock()
+			g, ok = c.run.globals[name]
+			c.run.smu.Unlock()
+		}
+	}
 	if !ok {
 		if !class.Shareable() {
 			return nil, fmt.Errorf("core: global %q needs a shareable class, got %s", name, class)
@@ -160,7 +205,7 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 				h, err := c.run.rt.regions.Alloc(region.Spec{
 					Name: name, Class: class, Size: size,
 					Owner: region.Owner(c.run.ns), Compute: c.pinCompute(dev),
-					Device: dev, Epoch: c.run.epoch,
+					Device: dev, Clock: c.clock(),
 				})
 				if err == nil {
 					g = &globalEntry{handle: h, class: class, shared: map[string]*region.Handle{}}
@@ -171,14 +216,17 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 			h, err := c.run.rt.regions.Alloc(region.Spec{
 				Name: name, Class: class, Size: size,
 				Owner: region.Owner(c.run.ns), Compute: c.compute.ID,
-				Epoch: c.run.epoch,
+				Clock: c.clock(),
 			})
 			if err != nil {
 				return nil, err
 			}
 			g = &globalEntry{handle: h, class: class, shared: map[string]*region.Handle{}}
 		}
+		c.noteAlloc(g.handle, size)
+		c.run.smu.Lock()
 		c.run.globals[name] = g
+		c.run.smu.Unlock()
 		dev, _ := g.handle.DeviceID()
 		c.noteDevice(name, dev)
 	}
@@ -186,6 +234,11 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 	if err != nil {
 		return nil, fmt.Errorf("core: sharing global %q: %w", name, err)
 	}
+	// The share inherited the creator's clock view; rebind it to this
+	// task's own before any access is priced through it.
+	sh.SetClock(c.clock())
+	sh.SetFence(c.fence)
+	c.noteShare(sh)
 	c.globalShares[name] = sh
 	c.noteRegion(name, sh)
 	return sh, nil
@@ -236,13 +289,20 @@ func (c *taskCtx) noteRegion(label string, h *region.Handle) {
 func (c *taskCtx) noteDevice(label, dev string) { c.regions[label] = dev }
 
 // releaseScratchAndInputs frees task-lifetime regions after the body ran.
+// Only releases that actually dropped a claim are journaled: a handle the
+// task already released itself stays live in the ledger until its true last
+// release (or run end).
 func (c *taskCtx) releaseScratchAndInputs() {
 	for _, h := range c.scratch {
-		h.Release() //nolint:errcheck // may already be released by the task
+		if h.Release() == nil { //nolint:errcheck // may already be released by the task
+			c.noteRelease(h)
+		}
 	}
 	c.scratch = nil
 	for _, h := range c.inputs {
-		h.Release() //nolint:errcheck // may already be released by the task
+		if h.Release() == nil { //nolint:errcheck // may already be released by the task
+			c.noteRelease(h)
+		}
 	}
 	c.inputs = nil
 }

@@ -1,0 +1,583 @@
+package core
+
+// This file implements the dependency-driven wavefront executor that
+// replaced the sequential task loop. A per-run dispatcher tracks each
+// task's unmet predecessor count and launches every ready task on a bounded
+// worker pool (Config.Workers goroutines), so independent DAG branches
+// execute their *real* work — region transfers, memsim copies, checkpoint
+// store I/O, task Fn bodies — concurrently, while *virtual* time stays
+// byte-for-byte deterministic.
+//
+// Determinism rests on four mechanisms:
+//
+//  1. Causal clock views (topology.TaskView). Each task prices its memory
+//     accesses against a private queue view seeded from the element-wise
+//     max of its predecessors' final views, so it queues behind exactly the
+//     accesses that happened-before it in the DAG — never behind a sibling
+//     branch that merely ran earlier in wall-clock time.
+//
+//  2. A rank-ordered core-claim ledger. The task's rank (its topological
+//     index, sched.Ranks) is the global tie-breaker: per compute device,
+//     tasks claim virtual cores strictly in rank order, and a claim is only
+//     granted when the chosen core's availability cannot be altered by any
+//     lower-rank task still in flight on that device (the free core's clock
+//     must not exceed the earliest in-flight claim's start). This makes the
+//     multiset of core clocks — and therefore every task's start time —
+//     identical to sequential execution.
+//
+//  3. Rank-order fences for globally ordered side effects. Operations whose
+//     cost or outcome depends on shared mutable state (the coherence
+//     directory on ever-shared regions, first-use creation of job globals)
+//     wait until every lower-rank task has completed. Under Workers=1 the
+//     fence is always trivially open; under parallel dispatch it only
+//     blocks wall-clock time, never virtual time. A fenced task releases
+//     its worker slot while it waits so the pool cannot starve.
+//
+//  4. Min-rank first-error-wins failure. When tasks fail, the failure that
+//     sequential execution would have hit first — the lowest rank — is the
+//     one surfaced; everything below it runs to completion (and keeps its
+//     checkpoints), in-flight work above it is drained, and snapshots that
+//     ranks above the failure produced out of order are dropped so recovery
+//     replays exactly what a sequential run would have.
+//
+// Peak device memory is likewise virtualized: tasks journal alloc / share /
+// release / migrate events stamped with (virtual time, rank, sequence), and
+// the high-water mark per device is computed by a deterministic sweep over
+// the sorted journal instead of sampling wall-clock allocator state.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/dataflow"
+	"repro/internal/region"
+	"repro/internal/topology"
+)
+
+// errWavefrontAborted marks a task abandoned at a fence because a
+// lower-rank task already failed: its own outcome is unobservable in
+// sequential order, so the error is never surfaced.
+var errWavefrontAborted = errors.New("core: wavefront aborted after earlier failure")
+
+// taskState is one task's position in the wavefront lifecycle.
+type taskState int8
+
+const (
+	tsWaiting taskState = iota // predecessors unmet
+	tsReady                    // dispatchable, no core claimed yet
+	tsClaimed                  // virtual core claimed, awaiting a worker slot
+	tsRunning                  // executing on a worker goroutine
+	tsDone                     // completed (or restored) successfully
+	tsFailed                   // body / verdict / release failure
+	tsSkipped                  // never dispatched (beyond the failure rank)
+)
+
+// evKind tags a virtual memory-ledger event.
+type evKind int8
+
+const (
+	evAlloc   evKind = iota // region created: +1 ref, +block bytes on dev
+	evShare                 // additional owner granted: +1 ref
+	evRelease               // owner released: -1 ref; last ref frees bytes
+	evMove                  // region migrated to dev
+)
+
+// memEvent is one entry in the run's virtual memory ledger. The (at, rank,
+// seq) triple totally orders events deterministically: virtual time first,
+// task rank for cross-task ties, per-task sequence within a task.
+type memEvent struct {
+	at    time.Duration
+	rank  int
+	seq   int
+	id    region.ID
+	kind  evKind
+	dev   string // evAlloc / evMove: the region's (new) home device
+	bytes int64  // evAlloc: allocator block size
+}
+
+// claim is one granted virtual-core reservation.
+type claim struct {
+	rank  int
+	start time.Duration
+}
+
+// devState is the per-compute-device claim machinery.
+type devState struct {
+	queue []int         // ranks awaiting a core claim, ascending
+	held  map[int]claim // core index → in-flight claim
+}
+
+// wavefront is the per-run parallel dispatcher.
+type wavefront struct {
+	r       *run
+	workers int
+	cancel  func() error // per-submission cancellation probe (Server); nil never cancels
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	order    []*dataflow.Task
+	rank     map[string]int
+	devOf    []string // rank → assigned compute device
+	devOrder []string // deterministic device iteration order
+	devs     map[string]*devState
+
+	state      []taskState
+	unmet      []int                // remaining predecessor count
+	readyAt    []time.Duration      // max predecessor finish (virtual)
+	views      []*topology.TaskView // final clock views of done tasks
+	finish     []time.Duration
+	restored   []bool // checkpointed in a prior attempt: restore, don't run
+	claimCore  []int
+	claimStart []time.Duration
+	dispatch   []int // claimed ranks awaiting a worker slot, ascending
+
+	active   int // workers executing and not blocked at a fence
+	inflight int // goroutines launched and not yet returned
+	frontier int // lowest rank not yet done
+	done     int
+	failRank int // lowest failed rank, -1 if none
+	failErr  error
+	failTask string
+	canceled error
+}
+
+// runWavefront executes the run's whole DAG on the dispatcher and blocks
+// until it drains. On success the run's report (peak memory, makespan) is
+// finalized and every task's clock view is absorbed into the epoch; on
+// failure every live region is released and the returned task/error pair
+// identifies the lowest-rank failure. A cancellation (cancel returning
+// non-nil) surfaces as failedTask == "" with the probe's error.
+func (r *run) runWavefront(order []*dataflow.Task, ranks map[string]int, workers int, cancel func() error) (failedTask string, err error) {
+	// Validate the plan up front so scheduling gaps surface as task errors
+	// rather than mid-flight panics.
+	for _, t := range order {
+		asg, ok := r.schedule.Assignments[t.ID()]
+		if !ok {
+			r.cleanup()
+			return t.ID(), errors.New("core: task missing from schedule")
+		}
+		if _, ok := r.rt.topo.Compute(asg.Compute); !ok {
+			r.cleanup()
+			return t.ID(), fmt.Errorf("core: scheduled on unknown device %s", asg.Compute)
+		}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	n := len(order)
+	w := &wavefront{
+		r: r, workers: workers, cancel: cancel,
+		order: order, rank: ranks,
+		devOf: make([]string, n), devs: make(map[string]*devState),
+		state: make([]taskState, n), unmet: make([]int, n),
+		readyAt: make([]time.Duration, n), views: make([]*topology.TaskView, n),
+		finish: make([]time.Duration, n), restored: make([]bool, n),
+		claimCore: make([]int, n), claimStart: make([]time.Duration, n),
+		failRank: -1,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	for k, t := range order {
+		dev := r.schedule.Assignments[t.ID()].Compute
+		w.devOf[k] = dev
+		ds := w.devs[dev]
+		if ds == nil {
+			ds = &devState{held: make(map[int]claim)}
+			w.devs[dev] = ds
+			w.devOrder = append(w.devOrder, dev)
+		}
+		ds.queue = append(ds.queue, k) // ascending: k iterates in rank order
+		w.unmet[k] = len(t.Preds())
+		if w.unmet[k] == 0 {
+			w.state[k] = tsReady
+		}
+	}
+	sort.Strings(w.devOrder)
+
+	// Injection verdicts and restore decisions are taken eagerly in strict
+	// rank order, exactly as the sequential loop would consume them: tasks
+	// checkpointed by a prior attempt never step the injector, and stepping
+	// stops at the first failure (ranks above it never consume injector
+	// state). Injector passes are mutation-free, so pre-consuming them is
+	// observationally identical to consuming them at dispatch time.
+	for k, t := range order {
+		if r.ck != nil {
+			if _, ok := r.ck.lookup(r.ckID, t.ID()); ok {
+				w.restored[k] = true
+				continue
+			}
+		}
+		if r.inject != nil {
+			if err := r.inject.Step(r.ns, t.ID()); err != nil {
+				w.failRank, w.failErr, w.failTask = k, err, t.ID()
+				w.state[k] = tsFailed
+				break
+			}
+		}
+	}
+
+	w.mu.Lock()
+	w.pump()
+	for !w.drainedLocked() {
+		w.cond.Wait()
+	}
+	canceled, failTask, failErr := w.canceled, w.failTask, w.failErr
+	failRank := w.failRank
+	w.mu.Unlock()
+
+	if canceled != nil {
+		r.cleanup()
+		return "", canceled
+	}
+	if failRank >= 0 {
+		// Drop snapshots that ranks above the failure produced out of
+		// sequential order: a sequential run would never have executed them,
+		// so recovery must not replay them.
+		if r.ck != nil {
+			for k := failRank + 1; k < n; k++ {
+				if w.state[k] == tsDone && !w.restored[k] {
+					r.ck.drop(r.ckID, order[k].ID())
+				}
+			}
+		}
+		r.cleanup()
+		return failTask, failErr
+	}
+
+	// Success: fold every task's clock view back into the epoch so batch
+	// mates that run after this job queue behind its device backlog.
+	for _, v := range w.views {
+		r.epoch.Absorb(v)
+	}
+	r.cleanup()
+	r.computePeak()
+	r.report.PeakDeviceBytes = r.peak
+	for _, tr := range r.report.Tasks {
+		if tr.Finish > r.report.Makespan {
+			r.report.Makespan = tr.Finish
+		}
+	}
+	return "", nil
+}
+
+// drainedLocked reports whether the wavefront has nothing left to do.
+// Caller holds w.mu.
+func (w *wavefront) drainedLocked() bool {
+	if w.inflight > 0 {
+		return false
+	}
+	if w.canceled != nil {
+		return true
+	}
+	if w.failRank >= 0 {
+		return w.frontier >= w.failRank
+	}
+	return w.done == len(w.order)
+}
+
+// pump advances the dispatcher: grants core claims in rank order per
+// device, then launches claimed tasks (lowest rank first) while worker
+// slots are free. Caller holds w.mu.
+func (w *wavefront) pump() {
+	if w.cancel != nil && w.canceled == nil {
+		if err := w.cancel(); err != nil {
+			w.canceled = err
+			w.cond.Broadcast()
+		}
+	}
+	if w.canceled != nil {
+		return
+	}
+	for {
+		progress := false
+		for _, dev := range w.devOrder {
+			ds := w.devs[dev]
+			cores := w.r.cores[dev]
+			for len(ds.queue) > 0 {
+				k := ds.queue[0]
+				if w.failRank >= 0 && k >= w.failRank {
+					break // nothing at or above the failure rank dispatches
+				}
+				if w.state[k] != tsReady {
+					break // head not DAG-ready: later ranks must wait their turn
+				}
+				cand, ok := freeCore(cores, ds.held)
+				if !ok {
+					break // every core is in flight
+				}
+				// Grant only when no in-flight lower rank can still lower
+				// this core's clock below what we see now: the free core's
+				// availability must not exceed the earliest in-flight
+				// claim's start. (An in-flight task finishes no earlier
+				// than it starts, so the chosen clock value is final.)
+				if s, held := minHeldStart(ds.held); held && cores[cand] > s {
+					break
+				}
+				start := w.readyAt[k]
+				if cores[cand] > start {
+					start = cores[cand]
+				}
+				if w.r.base > start {
+					start = w.r.base
+				}
+				ds.held[cand] = claim{rank: k, start: start}
+				w.claimCore[k], w.claimStart[k] = cand, start
+				ds.queue = ds.queue[1:]
+				w.state[k] = tsClaimed
+				w.dispatch = insertRank(w.dispatch, k)
+				progress = true
+			}
+		}
+		// A failure revokes claims at or above the failure rank that have
+		// not launched yet.
+		if w.failRank >= 0 && len(w.dispatch) > 0 {
+			keep := w.dispatch[:0]
+			for _, k := range w.dispatch {
+				if k < w.failRank {
+					keep = append(keep, k)
+					continue
+				}
+				delete(w.devs[w.devOf[k]].held, w.claimCore[k])
+				w.state[k] = tsSkipped
+			}
+			w.dispatch = keep
+		}
+		for len(w.dispatch) > 0 && w.active < w.workers {
+			k := w.dispatch[0]
+			w.dispatch = w.dispatch[1:]
+			w.state[k] = tsRunning
+			w.active++
+			w.inflight++
+			go w.runTask(k)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// freeCore returns the earliest-available core not held by an in-flight
+// claim (lowest index on ties — the same tie-break sequential argmin used).
+func freeCore(cores []time.Duration, held map[int]claim) (int, bool) {
+	best, found := 0, false
+	for i := range cores {
+		if _, busy := held[i]; busy {
+			continue
+		}
+		if !found || cores[i] < cores[best] {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// minHeldStart returns the earliest start among in-flight claims.
+func minHeldStart(held map[int]claim) (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, c := range held {
+		if !found || c.start < min {
+			min, found = c.start, true
+		}
+	}
+	return min, found
+}
+
+// insertRank inserts k into an ascending rank slice.
+func insertRank(s []int, k int) []int {
+	i := sort.SearchInts(s, k)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = k
+	return s
+}
+
+// seedView builds the task's causal clock view: the epoch's state at run
+// start merged with every predecessor's final view. Predecessor views are
+// published under w.mu before the successor launches, so reading them here
+// without the lock is race-free.
+func (w *wavefront) seedView(k int) *topology.TaskView {
+	v := w.r.epoch.View()
+	for _, p := range w.order[k].Preds() {
+		v.Merge(w.views[w.rank[p.ID()]])
+	}
+	return v
+}
+
+// runTask executes one claimed task on a worker goroutine and folds its
+// outcome back into the dispatcher.
+func (w *wavefront) runTask(k int) {
+	t := w.order[k]
+	view := w.seedView(k)
+	fin, rep, err := w.r.execTaskAt(w, k, t, view, w.claimStart[k])
+
+	w.mu.Lock()
+	w.inflight--
+	w.active--
+	dev := w.devOf[k]
+	delete(w.devs[dev].held, w.claimCore[k])
+	if rep != nil {
+		// The task ran to completion (possibly with a release error):
+		// its core clock and report are recorded either way, exactly like
+		// the sequential engine.
+		w.r.cores[dev][w.claimCore[k]] = fin
+		w.finish[k] = fin
+		w.r.finish[t.ID()] = fin
+		w.r.report.Tasks[t.ID()] = rep
+	}
+	if err != nil {
+		w.state[k] = tsFailed
+		if !errors.Is(err, errWavefrontAborted) && (w.failRank < 0 || k < w.failRank) {
+			w.failRank, w.failErr, w.failTask = k, err, t.ID()
+		}
+	} else {
+		w.state[k] = tsDone
+		w.done++
+		w.views[k] = view
+		for _, s := range t.Succs() {
+			sk := w.rank[s.ID()]
+			w.unmet[sk]--
+			if fin > w.readyAt[sk] {
+				w.readyAt[sk] = fin
+			}
+			if w.unmet[sk] == 0 && w.state[sk] == tsWaiting {
+				w.state[sk] = tsReady
+			}
+		}
+		for w.frontier < len(w.order) && w.state[w.frontier] == tsDone {
+			w.frontier++
+		}
+	}
+	w.pump()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// fence blocks the calling task (rank k) until every lower rank has
+// completed — the rank-order barrier installed on coherence-priced accesses
+// and global first-use. The waiting task releases its worker slot so the
+// pool cannot starve; it aborts if a rank below it fails (its own outcome
+// would be unobservable sequentially) or the run is canceled.
+func (w *wavefront) fence(k int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.frontier >= k {
+		return nil
+	}
+	w.active--
+	w.pump()
+	for w.frontier < k {
+		if w.failRank >= 0 && w.failRank < k {
+			w.active++
+			return errWavefrontAborted
+		}
+		if w.canceled != nil {
+			w.active++
+			return w.canceled
+		}
+		w.cond.Wait()
+	}
+	w.active++
+	return nil
+}
+
+// computePeak sweeps the run's virtual memory ledger in deterministic
+// (time, rank, seq) order and records the per-device high-water mark.
+// Regions never released (job globals, retained final outputs) stay live
+// through the end of the sweep, matching their actual lifetime.
+func (r *run) computePeak() {
+	r.smu.Lock()
+	events := r.events
+	r.events = nil
+	r.smu.Unlock()
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.seq < b.seq
+	})
+	type liveRegion struct {
+		dev   string
+		bytes int64
+		refs  int
+	}
+	live := make(map[region.ID]*liveRegion)
+	cur := make(map[string]int64)
+	bump := func(dev string) {
+		if cur[dev] > r.peak[dev] {
+			r.peak[dev] = cur[dev]
+		}
+	}
+	for _, e := range events {
+		switch e.kind {
+		case evAlloc:
+			live[e.id] = &liveRegion{dev: e.dev, bytes: e.bytes, refs: 1}
+			cur[e.dev] += e.bytes
+			bump(e.dev)
+		case evShare:
+			if lr := live[e.id]; lr != nil {
+				lr.refs++
+			}
+		case evRelease:
+			if lr := live[e.id]; lr != nil {
+				lr.refs--
+				if lr.refs == 0 {
+					cur[lr.dev] -= lr.bytes
+					delete(live, e.id)
+				}
+			}
+		case evMove:
+			if lr := live[e.id]; lr != nil && lr.dev != e.dev {
+				cur[lr.dev] -= lr.bytes
+				lr.dev = e.dev
+				cur[e.dev] += lr.bytes
+				bump(e.dev)
+			}
+		}
+	}
+}
+
+// flushEvents publishes a completed task's ledger entries. Failed tasks
+// never flush: their run's report is discarded anyway, and partial journals
+// would imbalance the sweep.
+func (r *run) flushEvents(ctx *taskCtx) {
+	if len(ctx.events) == 0 {
+		return
+	}
+	r.smu.Lock()
+	r.events = append(r.events, ctx.events...)
+	r.smu.Unlock()
+}
+
+// note journals one ledger event at the context's current virtual time.
+func (c *taskCtx) note(kind evKind, id region.ID, dev string, bytes int64) {
+	c.events = append(c.events, memEvent{
+		at: c.now, rank: c.rank, seq: c.evseq,
+		id: id, kind: kind, dev: dev, bytes: bytes,
+	})
+	c.evseq++
+}
+
+func (c *taskCtx) noteAlloc(h *region.Handle, size int64) {
+	if dev, err := h.DeviceID(); err == nil {
+		c.note(evAlloc, h.ID(), dev, allocator.BlockSize(size))
+	}
+}
+
+func (c *taskCtx) noteShare(h *region.Handle)   { c.note(evShare, h.ID(), "", 0) }
+func (c *taskCtx) noteRelease(h *region.Handle) { c.note(evRelease, h.ID(), "", 0) }
+
+func (c *taskCtx) noteMove(h *region.Handle) {
+	if dev, err := h.DeviceID(); err == nil {
+		c.note(evMove, h.ID(), dev, 0)
+	}
+}

@@ -128,10 +128,11 @@ func (b *BestFit) PlaceAt(req props.Requirements, computeID string, now time.Dur
 }
 
 // PlaceEpoch implements region.PlacerEpoch: the backlog penalty is read
-// from the requester's own virtual-time epoch, so concurrently running
-// epochs steer by their own contention instead of each other's.
-func (b *BestFit) PlaceEpoch(req props.Requirements, computeID string, now time.Duration, ep *topology.Epoch) (string, error) {
-	return b.placeAt(req, computeID, now, ep, true)
+// from the requester's own virtual-time view (a shared epoch or a wavefront
+// task's causal view), so concurrently running tasks steer by their own
+// contention instead of each other's.
+func (b *BestFit) PlaceEpoch(req props.Requirements, computeID string, now time.Duration, clk topology.VClock) (string, error) {
+	return b.placeAt(req, computeID, now, clk, true)
 }
 
 // backlogPenalty converts a device's queue backlog (relative to the
@@ -149,7 +150,7 @@ func backlogPenalty(busyUntil, now time.Duration) float64 {
 	return p
 }
 
-func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Duration, ep *topology.Epoch, contentionAware bool) (string, error) {
+func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Duration, clk topology.VClock, contentionAware bool) (string, error) {
 	best, bestScore := "", 0.0
 	for _, dev := range b.Topo.Memories() {
 		if dev.HardwareManaged {
@@ -165,8 +166,8 @@ func (b *BestFit) placeAt(req props.Requirements, computeID string, now time.Dur
 		s := req.Score(caps)
 		if contentionAware {
 			busy := dev.Stats().BusyUntil
-			if ep != nil {
-				busy = ep.BusyUntil(dev.ID)
+			if clk != nil {
+				busy = clk.BusyUntil(dev.ID)
 			}
 			s -= backlogPenalty(busy, now)
 		}

@@ -24,11 +24,27 @@ type Handle struct {
 	gen     uint64
 	owner   Owner
 	compute string
-	// epoch, when non-nil, is the virtual-time epoch accesses through this
+	// clock, when non-nil, is the virtual-time view accesses through this
 	// handle queue against; nil uses the device-global queues. Derived
-	// handles (Share, Transfer) inherit it.
-	epoch *topology.Epoch
+	// handles (Share, Transfer) inherit it; the runtime rebinds it when a
+	// handle crosses a task boundary (SetClock).
+	clock topology.VClock
+	// fence, when non-nil, is called before any access that may run the
+	// coherence protocol on a shared region. The wavefront runtime installs
+	// a rank-order barrier here so directory traffic happens in schedule
+	// order regardless of wall-clock interleaving. A fence error aborts the
+	// access.
+	fence func() error
 }
+
+// SetClock rebinds the virtual-time view accesses through this handle are
+// priced against. The runtime calls it at task handoff points (never
+// concurrently with accesses through the same handle).
+func (h *Handle) SetClock(clk topology.VClock) { h.clock = clk }
+
+// SetFence installs the pre-access barrier for coherence-priced accesses.
+// Like SetClock, it is only called at handoff points.
+func (h *Handle) SetFence(f func() error) { h.fence = f }
 
 // ID returns the region id.
 func (h *Handle) ID() ID { return h.id }
@@ -92,7 +108,7 @@ func checkRange(r *Region, off, n int64) error {
 // coherenceCost runs the directory protocol for the touched lines of a
 // shared region and prices the actions. Caller holds m.mu.
 func (m *Manager) coherenceCost(r *Region, computeID string, off, n int64, write bool) time.Duration {
-	if len(r.owners) <= 1 || r.req.Coherent != props.Require {
+	if !r.everShared || r.req.Coherent != props.Require {
 		return 0 // exclusive ownership needs no protocol (§2.2)
 	}
 	caps, ok := m.topo.EffectiveCaps(computeID, r.device.ID)
@@ -120,16 +136,37 @@ func (m *Manager) coherenceCost(r *Region, computeID string, off, n int64, write
 
 // access is the common sync data path. It moves real bytes between the
 // region backing and the caller's buffer and returns the virtual completion
-// time.
+// time. The payload copy runs under the region's own dataMu — outside the
+// manager lock — so independent tasks' memcpys proceed in parallel.
 func (h *Handle) access(now time.Duration, off int64, buf []byte, write bool, pat memsim.Pattern) (time.Duration, error) {
+	if h.fence != nil {
+		h.m.mu.Lock()
+		r, err := h.m.lookup(h)
+		if err != nil {
+			h.m.mu.Unlock()
+			return now, err
+		}
+		// Fence exactly when coherenceCost will consult the directory: the
+		// sticky everShared bit flips before any sharing consumer's handle
+		// exists, so reading it here is race-free and never-shared regions
+		// skip the barrier entirely.
+		fenced := r.everShared && r.req.Coherent == props.Require
+		h.m.mu.Unlock()
+		if fenced {
+			if err := h.fence(); err != nil {
+				return now, err
+			}
+		}
+	}
 	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
 	r, err := h.m.lookup(h)
 	if err != nil {
+		h.m.mu.Unlock()
 		return now, err
 	}
 	n := int64(len(buf))
 	if err := checkRange(r, off, n); err != nil {
+		h.m.mu.Unlock()
 		return now, err
 	}
 	r.heat++
@@ -137,25 +174,34 @@ func (h *Handle) access(now time.Duration, off int64, buf []byte, write bool, pa
 	if write {
 		kind = memsim.Write
 	}
-	done, err := h.m.accessTime(h.epoch, h.compute, r.device.ID, now, n, kind, pat)
+	done, err := h.m.accessTime(h.clock, h.compute, r.device.ID, now, n, kind, pat)
 	if err != nil {
+		h.m.mu.Unlock()
 		return now, err
 	}
 	done += h.m.coherenceCost(r, h.compute, off, n, write)
+	if write {
+		h.m.reg.Add(telemetry.LayerRegion, "bytes_written", n)
+	} else {
+		h.m.reg.Add(telemetry.LayerRegion, "bytes_read", n)
+	}
+	// Hand the copy over to the region lock: writers of data/sealed hold
+	// both locks, so holding either is enough to read them consistently.
+	r.dataMu.Lock()
+	h.m.mu.Unlock()
+	defer r.dataMu.Unlock()
 	if write {
 		if r.sealed {
 			sealRange(h.m.secret, r.id, r.data, off, buf)
 		} else {
 			copy(r.data[off:], buf)
 		}
-		h.m.reg.Add(telemetry.LayerRegion, "bytes_written", n)
 	} else {
 		if r.sealed {
 			unsealRange(h.m.secret, r.id, r.data, off, buf)
 		} else {
 			copy(buf, r.data[off:])
 		}
-		h.m.reg.Add(telemetry.LayerRegion, "bytes_read", n)
 	}
 	return done, nil
 }
@@ -268,7 +314,7 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 		}
 	}
 	r.gen++ // invalidate the source handle (move semantics)
-	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, epoch: h.epoch}
+	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, clock: h.clock, fence: h.fence}
 	delete(r.owners, h.owner)
 	r.owners[to] = toCompute
 	if zeroCopy {
@@ -276,7 +322,7 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 		return nh, now, nil
 	}
 	// Migration: re-place for the receiver and copy through the fabric.
-	done, err := h.m.migrateLocked(r, toCompute, now, h.epoch)
+	done, err := h.m.migrateLocked(r, toCompute, now, h.clock)
 	if err != nil {
 		// Roll the ownership move back so the caller still owns the data.
 		r.gen++
@@ -292,16 +338,16 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 
 // migrateLocked moves a region to a device matching its requirements from
 // computeID, paying read+write virtual time. Caller holds m.mu.
-func (m *Manager) migrateLocked(r *Region, computeID string, now time.Duration, ep *topology.Epoch) (time.Duration, error) {
+func (m *Manager) migrateLocked(r *Region, computeID string, now time.Duration, clk topology.VClock) (time.Duration, error) {
 	devID, err := m.placer.Place(r.req, computeID)
 	if err != nil {
 		return now, fmt.Errorf("%w: migration: %v", ErrNoPlacement, err)
 	}
-	return m.migrateToLocked(r, computeID, devID, now, ep)
+	return m.migrateToLocked(r, computeID, devID, now, clk)
 }
 
 // migrateToLocked moves a region to the named device. Caller holds m.mu.
-func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.Duration, ep *topology.Epoch) (time.Duration, error) {
+func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.Duration, clk topology.VClock) (time.Duration, error) {
 	dst, ok := m.topo.Memory(devID)
 	if !ok {
 		return now, fmt.Errorf("region: placer chose unknown device %q", devID)
@@ -322,11 +368,11 @@ func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.D
 		return now, err
 	}
 	// Price the copy: read from the old home, write to the new one.
-	rd, err := m.accessTime(ep, computeID, r.device.ID, now, r.size, memsim.Read, memsim.Sequential)
+	rd, err := m.accessTime(clk, computeID, r.device.ID, now, r.size, memsim.Read, memsim.Sequential)
 	if err != nil {
 		rd = now // old home may be unreachable from the new compute; charge only the write
 	}
-	wr, err := m.accessTime(ep, computeID, dst.ID, rd, r.size, memsim.Write, memsim.Sequential)
+	wr, err := m.accessTime(clk, computeID, dst.ID, rd, r.size, memsim.Write, memsim.Sequential)
 	if err != nil {
 		return now, err
 	}
@@ -344,8 +390,10 @@ func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.D
 	if caps, ok := m.topo.EffectiveCaps(computeID, dst.ID); ok {
 		newSealed := r.req.Confidential && caps.Remote
 		if newSealed != r.sealed {
+			r.dataMu.Lock()
 			keystreamAt(m.secret, r.id, 0, r.data)
 			r.sealed = newSealed
+			r.dataMu.Unlock()
 		}
 	}
 	m.reg.Add(telemetry.LayerRegion, "migrations", 1)
@@ -375,8 +423,9 @@ func (h *Handle) Share(to Owner, toCompute string) (*Handle, error) {
 		return nil, fmt.Errorf("region: %s already owns region %d", to, r.id)
 	}
 	r.owners[to] = toCompute
+	r.everShared = true
 	h.m.reg.Add(telemetry.LayerRegion, "shares", 1)
-	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, epoch: h.epoch}, nil
+	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, clock: h.clock, fence: h.fence}, nil
 }
 
 // Release drops this owner's claim; the region is freed when the last owner

@@ -76,12 +76,14 @@ type Spec struct {
 	// "resource utilization" signal §3's challenges 1-3 ask the RTS to
 	// track. Zero is a valid time (job start).
 	Now time.Duration
-	// Epoch, when non-nil, is the virtual-time epoch all of this region's
-	// accesses are queued against. Handles derived from the allocation
-	// (shares, transfers) inherit it, so one epoch's backlog never leaks
-	// into another — the isolation concurrent job submission requires.
-	// Nil falls back to the device-global queues (legacy sequential mode).
-	Epoch *topology.Epoch
+	// Clock, when non-nil, is the virtual-time view all of this region's
+	// accesses are queued against — an *topology.Epoch (shared FIFO view)
+	// or a *topology.TaskView (one wavefront task's causal view). Handles
+	// derived from the allocation (shares, transfers) inherit it, so one
+	// view's backlog never leaks into another — the isolation concurrent
+	// job submission requires. Nil falls back to the device-global queues
+	// (legacy sequential mode).
+	Clock topology.VClock
 }
 
 // PlacerAt is the optional contention-aware extension of Placer: placers
@@ -91,11 +93,12 @@ type PlacerAt interface {
 	PlaceAt(req props.Requirements, computeID string, now time.Duration) (string, error)
 }
 
-// PlacerEpoch is the epoch-aware extension of Placer: the backlog signal is
-// read from the requester's own virtual-time epoch instead of the
-// device-global queues, so concurrent epochs steer by their own contention.
+// PlacerEpoch is the clock-aware extension of Placer: the backlog signal is
+// read from the requester's own virtual-time view (epoch or task view)
+// instead of the device-global queues, so concurrent runs steer by their
+// own contention.
 type PlacerEpoch interface {
-	PlaceEpoch(req props.Requirements, computeID string, now time.Duration, ep *topology.Epoch) (string, error)
+	PlaceEpoch(req props.Requirements, computeID string, now time.Duration, clk topology.VClock) (string, error)
 }
 
 // Region is the manager-internal state of one memory region.
@@ -114,6 +117,18 @@ type Region struct {
 	owners    map[Owner]string
 	freed     bool
 	heat      uint64 // accesses since the last rebalance epoch (tiering)
+	// everShared latches once the region has had more than one owner:
+	// coherence pricing keys off it instead of the instantaneous owner
+	// count, so the cost of an access does not depend on whether a sibling
+	// task has released its share yet — a wall-clock race under parallel
+	// execution. (Realistic too: the directory still tracks the lines until
+	// they are dropped.)
+	everShared bool
+	// dataMu serializes the real byte copies against data (and the sealed
+	// flag governing them), letting the payload memcpy of concurrent tasks
+	// proceed outside the manager lock. Lock order: m.mu before dataMu;
+	// never acquire m.mu while holding dataMu.
+	dataMu sync.Mutex
 }
 
 // Manager owns all regions, per-device allocators, the coherence directory,
@@ -214,8 +229,8 @@ func (m *Manager) Alloc(spec Spec) (*Handle, error) {
 	if devID == "" {
 		switch p := m.placer.(type) {
 		case PlacerEpoch:
-			if spec.Epoch != nil {
-				devID, err = p.PlaceEpoch(req, spec.Compute, spec.Now, spec.Epoch)
+			if spec.Clock != nil {
+				devID, err = p.PlaceEpoch(req, spec.Compute, spec.Now, spec.Clock)
 				break
 			}
 			if pa, ok := m.placer.(PlacerAt); ok {
@@ -274,14 +289,14 @@ func (m *Manager) Alloc(spec Spec) (*Handle, error) {
 	m.regions[id] = r
 	m.reg.Add(telemetry.LayerRegion, "allocs", 1)
 	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", block)
-	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute, epoch: spec.Epoch}, nil
+	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute, clock: spec.Clock}, nil
 }
 
-// accessTime routes a virtual memory access through the handle's epoch when
+// accessTime routes a virtual memory access through the handle's clock when
 // one is set, falling back to the device-global queues.
-func (m *Manager) accessTime(ep *topology.Epoch, computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error) {
-	if ep != nil {
-		return ep.AccessTime(computeID, memID, now, size, kind, pat)
+func (m *Manager) accessTime(clk topology.VClock, computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error) {
+	if clk != nil {
+		return clk.AccessTime(computeID, memID, now, size, kind, pat)
 	}
 	return m.topo.AccessTime(computeID, memID, now, size, kind, pat)
 }
@@ -312,7 +327,9 @@ func (m *Manager) free(r *Region) {
 	}
 	r.device.Release(r.blockSize)
 	m.dir.DropRegion(uint64(r.id))
+	r.dataMu.Lock() // wait out any in-flight payload copy
 	r.data = nil
+	r.dataMu.Unlock()
 	delete(m.regions, r.id)
 	m.reg.Add(telemetry.LayerRegion, "frees", 1)
 	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", -r.blockSize)

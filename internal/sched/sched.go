@@ -349,3 +349,33 @@ func Validate(job *dataflow.Job, topo *topology.Topology, s *Schedule) error {
 	}
 	return nil
 }
+
+// Ranks returns every task's deterministic execution rank — its index in
+// the job's topological order (Kahn's algorithm with insertion-index
+// tie-breaking, so the result is stable run-to-run). The wavefront executor
+// uses the rank as the global tie-breaker wherever two ready tasks contend
+// for the same virtual core, which is what keeps parallel dispatch
+// byte-for-byte deterministic. The order itself is returned alongside so
+// callers don't recompute it.
+func Ranks(job *dataflow.Job) (map[string]int, []*dataflow.Task, error) {
+	order, err := job.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks := make(map[string]int, len(order))
+	for i, t := range order {
+		ranks[t.ID()] = i
+	}
+	return ranks, order, nil
+}
+
+// PredCounts returns every task's unmet-predecessor count — the wavefront
+// executor's initial ready-set state: tasks with a zero count are
+// immediately dispatchable.
+func PredCounts(job *dataflow.Job) map[string]int {
+	counts := make(map[string]int, len(job.Tasks()))
+	for _, t := range job.Tasks() {
+		counts[t.ID()] = len(t.Preds())
+	}
+	return counts
+}

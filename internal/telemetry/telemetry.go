@@ -300,8 +300,11 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
-// Quantile returns an upper bound for the q-quantile (bucket boundary), with
-// q in [0,1]. Returns Max for the tail bucket.
+// Quantile estimates the q-quantile, q in [0,1], by locating the bucket
+// holding the target rank and interpolating linearly inside it (the usual
+// Prometheus-style estimator) instead of returning the raw bucket boundary.
+// The tail bucket interpolates toward Max, and the estimate is clamped to
+// Max so a sparsely filled bucket never reports a latency above any sample.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -314,15 +317,33 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(q * float64(h.count))
+	rank := q * float64(h.count)
+	target := int64(rank)
 	var cum int64
 	for i, c := range h.buckets {
 		cum += c
 		if cum > target || (q == 1 && cum == h.count && c > 0) {
-			if i < len(h.bounds) {
-				return h.bounds[i]
+			var lower, upper time.Duration
+			if i > 0 {
+				lower = h.bounds[i-1]
 			}
-			return h.max
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			} else {
+				upper = h.max
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			v := lower + time.Duration(frac*float64(upper-lower))
+			if v > h.max {
+				v = h.max
+			}
+			return v
 		}
 	}
 	return h.max

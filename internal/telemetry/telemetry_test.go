@@ -128,9 +128,11 @@ func TestHistogramBasics(t *testing.T) {
 	if mean < 20*time.Millisecond || mean > 21*time.Millisecond {
 		t.Errorf("mean = %v, want ≈100.05ms/5", mean)
 	}
-	// Median falls in the ≤1µs bucket.
-	if q := h.Quantile(0.5); q != time.Microsecond {
-		t.Errorf("p50 = %v, want 1µs bound", q)
+	// Median falls in the (100ns, 1µs] bucket; the target rank (2.5 of 5)
+	// sits halfway through its single sample, so the estimate interpolates
+	// to the bucket midpoint: 100ns + 0.5·900ns.
+	if q := h.Quantile(0.5); q != 550*time.Nanosecond {
+		t.Errorf("p50 = %v, want 550ns interpolated", q)
 	}
 	if q := h.Quantile(1); q != 100*time.Millisecond {
 		t.Errorf("p100 = %v, want max", q)
@@ -251,8 +253,10 @@ func TestRegistryObserveAndHist(t *testing.T) {
 	if h.Max() != 80*time.Millisecond {
 		t.Errorf("max = %v, want 80ms", h.Max())
 	}
-	if p50 := h.Quantile(0.50); p50 != 10*time.Millisecond {
-		t.Errorf("p50 = %v, want 10ms bucket bound", p50)
+	// Rank 1.5 of 3 lands halfway through the (1ms, 10ms] bucket's single
+	// sample: 1ms + 0.5·9ms.
+	if p50 := h.Quantile(0.50); p50 != 5500*time.Microsecond {
+		t.Errorf("p50 = %v, want 5.5ms interpolated", p50)
 	}
 	// Same (layer, name) accumulates into one histogram; a different layer
 	// gets its own.

@@ -30,6 +30,19 @@ type Epoch struct {
 	busy map[string]time.Duration // memory device ID → queue drain time
 }
 
+// VClock is a virtual-time view of the memory device queues: the contract
+// shared by Epoch (locked, FIFO across all callers) and TaskView (unlocked,
+// private to one task in a wavefront). Placers and the region manager price
+// accesses against whichever view the caller hands them.
+type VClock interface {
+	// Topology returns the shared hardware graph this clock runs on.
+	Topology() *Topology
+	// BusyUntil returns the view-local queue drain time of a memory device.
+	BusyUntil(memID string) time.Duration
+	// AccessTime is Topology.AccessTime against this view's queue state.
+	AccessTime(computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error)
+}
+
 // NewEpoch starts a fresh virtual-time epoch on this topology: every device
 // queue is seen as drained at t=0.
 func (t *Topology) NewEpoch() *Epoch {
@@ -65,6 +78,100 @@ func (e *Epoch) AccessTime(computeID, memID string, now time.Duration, size int6
 	done, busy := mem.AccessQueued(e.busy[memID], now+path.Latency, size, kind, pat)
 	e.busy[memID] = busy
 	e.mu.Unlock()
+	done += pathStretch(path, mem, size)
+	return done + path.Latency, nil
+}
+
+// View snapshots the epoch's current queue state into a fresh TaskView.
+// Wavefront source tasks seed from this; everything downstream seeds from
+// merged predecessor views.
+func (e *Epoch) View() *TaskView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	busy := make(map[string]time.Duration, len(e.busy))
+	for id, t := range e.busy {
+		busy[id] = t
+	}
+	return &TaskView{topo: e.topo, busy: busy}
+}
+
+// Absorb folds a finished task's queue state back into the epoch as an
+// element-wise max: after a run completes, the epoch's drain times reflect
+// the deepest backlog any of the run's tasks produced, so later jobs that
+// share the epoch queue behind the whole run.
+func (e *Epoch) Absorb(v *TaskView) {
+	if v == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, t := range v.busy {
+		if t > e.busy[id] {
+			e.busy[id] = t
+		}
+	}
+}
+
+// TaskView is one task's causal view of the device queues inside a
+// wavefront run. It seeds from the element-wise max of the task's
+// predecessors' final views, so a task queues behind exactly the accesses
+// that happened-before it in the DAG — never behind a sibling branch that
+// merely ran earlier in wall-clock time. That independence from dispatch
+// order is what keeps parallel execution byte-for-byte deterministic.
+//
+// A TaskView is NOT safe for concurrent use: it belongs to one task
+// goroutine. Cross-task handoff (predecessor final view → successor seed)
+// is synchronized by the wavefront dispatcher.
+type TaskView struct {
+	topo *Topology
+	busy map[string]time.Duration
+}
+
+// NewTaskView starts an empty view: every queue drained at t=0.
+func (t *Topology) NewTaskView() *TaskView {
+	return &TaskView{topo: t, busy: make(map[string]time.Duration)}
+}
+
+// Topology returns the shared hardware graph this view runs on.
+func (v *TaskView) Topology() *Topology { return v.topo }
+
+// BusyUntil returns the view-local queue drain time of a memory device.
+func (v *TaskView) BusyUntil(memID string) time.Duration { return v.busy[memID] }
+
+// Merge folds another view in as an element-wise max. Seeding a task's view
+// is Merge over every predecessor's final view.
+func (v *TaskView) Merge(o *TaskView) {
+	if o == nil {
+		return
+	}
+	for id, t := range o.busy {
+		if t > v.busy[id] {
+			v.busy[id] = t
+		}
+	}
+}
+
+// Clone returns an independent copy of the view.
+func (v *TaskView) Clone() *TaskView {
+	busy := make(map[string]time.Duration, len(v.busy))
+	for id, t := range v.busy {
+		busy[id] = t
+	}
+	return &TaskView{topo: v.topo, busy: busy}
+}
+
+// AccessTime is Topology.AccessTime against this view's queue state.
+func (v *TaskView) AccessTime(computeID, memID string, now time.Duration, size int64, kind memsim.AccessKind, pat memsim.Pattern) (time.Duration, error) {
+	mem, ok := v.topo.memories[memID]
+	if !ok {
+		return 0, fmt.Errorf("topology: unknown memory device %q", memID)
+	}
+	path, ok := v.topo.Path(computeID, memID)
+	if !ok {
+		return 0, fmt.Errorf("topology: no path %s→%s", computeID, memID)
+	}
+	done, busy := mem.AccessQueued(v.busy[memID], now+path.Latency, size, kind, pat)
+	v.busy[memID] = busy
 	done += pathStretch(path, mem, size)
 	return done + path.Latency, nil
 }
