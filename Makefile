@@ -32,6 +32,9 @@ bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkWideDAGParallel|BenchmarkServeParallel' \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | head -20 || true
+	$(GO) test -run XXX -bench BenchmarkServeOverlap \
+		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_serve.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_serve.json | head -20 || true
 
 # Smoke-run the admission-controlled serving mode.
 serve:

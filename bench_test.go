@@ -192,7 +192,7 @@ func BenchmarkTable1Sweep(b *testing.B) {
 // admitted and completed; jobs/epoch reports how much batching the worker
 // pool achieved.
 func BenchmarkServeConcurrent(b *testing.B) {
-	srv, err := NewServer(ServerConfig{Workers: 4, MaxBatch: 8, QueueDepth: 256, Block: true})
+	srv, err := NewServer(ServerConfig{EpochWorkers: 4, MaxBatch: 8, QueueDepth: 256, Block: true})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -37,7 +37,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -63,6 +62,7 @@ func main() {
 	workers := flag.Int("workers", 4, "serve mode: epoch workers in the pool")
 	queueDepth := flag.Int("queue", 64, "serve mode: admission queue depth")
 	maxBatch := flag.Int("batch", 8, "serve mode: max jobs folded into one shared epoch")
+	overlap := flag.Bool("overlap", true, "serve mode: overlap whole jobs of a batch on the shared worker pool (false = legacy job-after-job batches)")
 	recover := flag.Bool("recover", false, "checkpointed recovery: retry failed jobs, restoring completed tasks")
 	faultRate := flag.Float64("faultrate", 0, "inject one deterministic fault into this fraction of task sites (0..1)")
 	maxAttempts := flag.Int("maxattempts", 3, "recovery: total runs per submission")
@@ -136,6 +136,7 @@ func main() {
 		if err := serveJobs(rt, tel, buildJob, serveOpts{
 			jobName: *jobName, jobList: *jobList,
 			workers: *workers, queueDepth: *queueDepth, maxBatch: *maxBatch,
+			overlap: *overlap,
 			recover: *recover, maxAttempts: *maxAttempts, inject: inject,
 		}); err != nil {
 			fatal(err)
@@ -227,6 +228,7 @@ func main() {
 type serveOpts struct {
 	jobName, jobList              string
 	workers, queueDepth, maxBatch int
+	overlap                       bool
 	recover                       bool
 	maxAttempts                   int
 	inject                        *fault.Injector
@@ -271,8 +273,8 @@ func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) 
 	}
 
 	cfg := core.ServerConfig{
-		Runtime: rt, Workers: o.workers, QueueDepth: o.queueDepth,
-		MaxBatch: o.maxBatch, Block: true,
+		Runtime: rt, EpochWorkers: o.workers, QueueDepth: o.queueDepth,
+		MaxBatch: o.maxBatch, Block: true, Sequential: !o.overlap,
 	}
 	if o.recover {
 		store, err := newCheckpointStore()
@@ -285,27 +287,35 @@ func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) 
 	if err != nil {
 		return err
 	}
+	// Async submission: enqueue every job up front via the ticket API, then
+	// collect outcomes — no per-submission goroutine needed.
+	tickets := make([]*core.Ticket, len(jobs))
+	for i, j := range jobs {
+		tk, err := srv.SubmitAsync(context.Background(), j)
+		if err != nil {
+			return err
+		}
+		tickets[i] = tk
+	}
 	type outcome struct {
 		rep *core.Report
 		err error
 	}
 	results := make([]outcome, len(jobs))
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j *dataflow.Job) {
-			defer wg.Done()
-			rep, err := srv.Submit(context.Background(), j)
-			results[i] = outcome{rep, err}
-		}(i, j)
+	for i, tk := range tickets {
+		rep, err := tk.Wait(context.Background())
+		results[i] = outcome{rep, err}
 	}
-	wg.Wait()
 	if err := srv.Close(context.Background()); err != nil {
 		return err
 	}
 
-	fmt.Printf("served %d jobs across %d workers (queue %d, batch %d)\n",
-		len(jobs), o.workers, o.queueDepth, o.maxBatch)
+	mode := "overlapped"
+	if !o.overlap {
+		mode = "sequential"
+	}
+	fmt.Printf("served %d jobs across %d workers (queue %d, batch %d, %s batches)\n",
+		len(jobs), o.workers, o.queueDepth, o.maxBatch, mode)
 	for i, out := range results {
 		if out.err != nil {
 			fmt.Printf("  %-16s #%-3d FAILED: %v\n", names[i], i, out.err)

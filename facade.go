@@ -79,6 +79,9 @@ const (
 type (
 	// Runtime is the RTS: placement, scheduling, ownership, lifetimes.
 	Runtime = core.Runtime
+	// ExecConfig is the shared execution configuration consumed by both
+	// NewRuntime and ServerConfig's embedded defaults.
+	ExecConfig = core.ExecConfig
 	// RuntimeConfig assembles a Runtime; zero values get defaults.
 	RuntimeConfig = core.Config
 	// Report is the outcome of one job run.
@@ -95,6 +98,9 @@ type (
 	Server = core.Server
 	// ServerConfig assembles a Server; zero values get serving defaults.
 	ServerConfig = core.ServerConfig
+	// Ticket is an asynchronous submission's handle: Done/Wait/ID
+	// (Server.SubmitAsync).
+	Ticket = core.Ticket
 	// RecoveryPolicy makes served jobs fault-tolerant: checkpointed task
 	// outputs, bounded retries, virtual-time backoff (ServerConfig.Recovery).
 	RecoveryPolicy = core.RecoveryPolicy

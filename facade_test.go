@@ -100,7 +100,7 @@ func TestFacadeConstantsAreTheRealOnes(t *testing.T) {
 
 func TestFacadeServer(t *testing.T) {
 	// The serving engine is fully drivable through the facade alone.
-	srv, err := repro.NewServer(repro.ServerConfig{Workers: 2, MaxBatch: 2})
+	srv, err := repro.NewServer(repro.ServerConfig{EpochWorkers: 2, MaxBatch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

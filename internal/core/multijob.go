@@ -20,6 +20,13 @@ import (
 // slots serialize tasks, device service queues serialize transfers, and
 // the placement optimizer sees the other jobs' allocations through device
 // free-capacity. Contention is therefore emergent, not modeled.
+//
+// RunAll is the *virtual-contention* multi-job mode: members run
+// job-after-job, each queueing behind the backlog its predecessors absorbed
+// into the shared epoch, so interference (stretch) is observable in the
+// reports. The Server's default batch mode makes the opposite trade —
+// overlapped wall-clock execution with virtual isolation per member (see
+// server.go); its Sequential knob recovers these RunAll semantics.
 
 // JobResult pairs a job's report with isolation diagnostics.
 type JobResult struct {

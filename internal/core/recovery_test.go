@@ -43,7 +43,7 @@ func TestServeRecoveryConcurrentStress(t *testing.T) {
 	inj := fault.NewInjector(1, 1.0, 1)
 	s := newRecoveryServer(t, inj,
 		RecoveryPolicy{MaxAttempts: 4},
-		ServerConfig{Workers: 4, MaxBatch: 4, QueueDepth: 64, Block: true})
+		ServerConfig{EpochWorkers: 4, MaxBatch: 4, QueueDepth: 64, Block: true})
 
 	const (
 		goroutines = 8
@@ -132,7 +132,7 @@ func TestServeWithoutRecoverySurfacesFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newTestServer(t, ServerConfig{Runtime: rt, Workers: 2, Block: true})
+	s := newTestServer(t, ServerConfig{Runtime: rt, EpochWorkers: 2, Block: true})
 	const n = 8
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -169,7 +169,7 @@ func TestServeRecoveryBackoff(t *testing.T) {
 	inj.Kill("ingest", 1) // attempt 1 dies at the first task
 	s := newRecoveryServer(t, inj,
 		RecoveryPolicy{MaxAttempts: 2, Backoff: backoff},
-		ServerConfig{Workers: 1, MaxBatch: 1})
+		ServerConfig{EpochWorkers: 1, MaxBatch: 1})
 
 	rep, err := s.Submit(context.Background(), pipelineJob("pipe"))
 	if err != nil {
@@ -200,7 +200,7 @@ func TestServeRecoveryExhaustion(t *testing.T) {
 	inj.Kill("reduce", 99) // sink dies every attempt
 	s := newRecoveryServer(t, inj,
 		RecoveryPolicy{MaxAttempts: 3},
-		ServerConfig{Workers: 1, MaxBatch: 1})
+		ServerConfig{EpochWorkers: 1, MaxBatch: 1})
 
 	_, err := s.Submit(context.Background(), pipelineJob("pipe"))
 	if !errors.Is(err, fault.ErrInjected) {

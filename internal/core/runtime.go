@@ -36,10 +36,12 @@ import (
 	"repro/internal/topology"
 )
 
-// Config assembles a Runtime. Zero fields get production defaults: the
+// ExecConfig is the execution-engine configuration shared by the two entry
+// points: Runtime construction (New) and the serving front door
+// (ServerConfig embeds it). Zero fields get production defaults: the
 // reference single-node testbed, the best-fit placement optimizer, and the
 // HEFT scheduler.
-type Config struct {
+type ExecConfig struct {
 	Topology  *topology.Topology
 	Placer    region.Placer
 	Scheduler sched.Scheduler
@@ -49,11 +51,17 @@ type Config struct {
 	// and disaggsim use to exercise recovery. Nil injects nothing.
 	Inject *fault.Injector
 	// Workers bounds the wavefront executor's worker pool: how many tasks
-	// of one run may execute their real work (transfers, copies, bodies,
-	// checkpoint I/O) concurrently. Virtual time is identical for every
-	// value — see wavefront.go. Zero or negative defaults to GOMAXPROCS.
+	// may execute their real work (transfers, copies, bodies, checkpoint
+	// I/O) concurrently — within one run, and across every job of an
+	// overlapped serving batch, which shares a single pool. Virtual time is
+	// identical for every value — see wavefront.go. Zero or negative
+	// defaults to GOMAXPROCS.
 	Workers int
 }
+
+// Config is the historical name of ExecConfig, kept as an alias so existing
+// Runtime constructors keep compiling unchanged.
+type Config = ExecConfig
 
 // Runtime is the RTS instance. Run is safe for concurrent submission from
 // multiple goroutines: each call executes in its own virtual-time epoch
@@ -145,6 +153,17 @@ type Report struct {
 	// Empty when the job completed on its first attempt (or recovery was
 	// not policy-managed).
 	AttemptWaits []time.Duration
+	// BatchSize and BatchIndex identify the serving batch this job executed
+	// in: how many jobs its epoch packed and this job's position in
+	// admission order. Both zero outside the serving path (Runtime.Run,
+	// RunAll). Like every other report field they are a pure function of
+	// the batch, identical at any worker-pool size.
+	BatchSize  int
+	BatchIndex int
+	// Overlapped reports whether the batch executed its members
+	// concurrently on a shared worker pool (the Server's default) rather
+	// than job-after-job (ServerConfig.Sequential).
+	Overlapped bool
 }
 
 // String renders the report as a fixed-width table.
@@ -329,8 +348,7 @@ func (r *run) execTaskAt(w *wavefront, k int, t *dataflow.Task, view *topology.T
 		if h == nil {
 			continue
 		}
-		h.SetClock(view)
-		h.SetFence(ctx.fence)
+		h.Rebind(view, ctx.fence)
 		if cls, err := h.Class(); err == nil && cls == props.Transfer {
 			fromDev, _ := h.DeviceID()
 			nh, done, err := h.Transfer(ctx.now, ctx.owner, asg.Compute)

@@ -6,10 +6,16 @@ package core
 // isolation; Server adds what a multi-tenant front door needs on top:
 //
 //   - a bounded admission queue with configurable backpressure (fail fast
-//     with ErrQueueFull, or block until a slot frees),
-//   - a worker pool whose workers batch whatever is queued into shared
-//     virtual-time epochs (batched jobs contend on the same device queues,
-//     exactly like RunAll; separate batches are fully isolated),
+//     with ErrQueueFull, or block until a slot frees) and an async
+//     ticket-based submission API (SubmitAsync/Ticket) mirroring the
+//     paper's future-based far-memory interface at the job level,
+//   - epoch workers that batch whatever is queued into shared virtual-time
+//     epochs and, by default, *overlap* the whole batch on one bounded
+//     worker pool: every member's ready tasks compete for the shared slots
+//     in deterministic (rank, submission) order while each member's virtual
+//     time stays byte-identical to running the job alone
+//     (ServerConfig.Sequential restores job-after-job RunAll-style
+//     contention; separate batches are fully isolated either way),
 //   - per-job context cancellation and deadlines, honored while queued and
 //     between tasks during execution,
 //   - optional fault-tolerant execution (ServerConfig.Recovery): task
@@ -35,6 +41,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
+	"repro/internal/topology"
 )
 
 // Errors reported by the serving layer.
@@ -47,16 +54,26 @@ var (
 )
 
 // ServerConfig assembles a Server. Zero fields get serving defaults.
+//
+// The embedded ExecConfig is the single source of execution knobs — the
+// topology, placer, scheduler, telemetry, fault injection, and the
+// worker-pool bound (ExecConfig.Workers) every batch's tasks share. It is
+// consulted only when Runtime is nil; a non-nil Runtime brings its own.
+// Note the worker-knob split: ExecConfig.Workers bounds *task* concurrency
+// inside one batch, EpochWorkers bounds how many *batches* run at once.
 type ServerConfig struct {
-	// Runtime executes the admitted jobs. Nil builds a default runtime
-	// (reference testbed, best-fit placer, HEFT scheduler).
+	ExecConfig
+	// Runtime executes the admitted jobs. Nil builds one from the embedded
+	// ExecConfig (whose zero value gives the reference testbed, best-fit
+	// placer, and HEFT scheduler).
 	Runtime *Runtime
 	// QueueDepth bounds the admission queue (default 64). Submissions
 	// beyond the bound are rejected or block, per Block.
 	QueueDepth int
-	// Workers is the number of epoch workers serving the queue (default 4).
-	// Each worker runs one batch at a time; batches run concurrently.
-	Workers int
+	// EpochWorkers is the number of epoch workers serving the queue
+	// (default 4). Each worker runs one batch at a time; batches run
+	// concurrently.
+	EpochWorkers int
 	// MaxBatch caps how many queued jobs one worker folds into a shared
 	// virtual-time epoch (default 8). 1 disables batching: every job gets
 	// a private epoch.
@@ -71,6 +88,14 @@ type ServerConfig struct {
 	// and launches immediately. A positive linger trades a bounded amount
 	// of queue wait for fuller batches.
 	MaxLinger time.Duration
+	// Sequential selects the legacy batch mode: members execute
+	// job-after-job over shared core clocks and epoch backlog, each
+	// queueing behind its predecessors (RunAll semantics — virtual
+	// contention inside the batch). The default (false) overlaps whole
+	// jobs on the batch's shared worker pool with virtual isolation: every
+	// member's virtual-time report is computed as if it ran alone, and
+	// batch mates contend only for wall-clock resources.
+	Sequential bool
 	// Recovery, when set, makes every admitted job run fault-tolerantly:
 	// task outputs are checkpointed into the policy's store and a failed
 	// job is retried in place (restored tasks replayed inside the worker's
@@ -125,29 +150,64 @@ func backoffWait(rec *recoveryState, attempt int) time.Duration {
 	return w
 }
 
-// jobOutcome is what a worker delivers back to a waiting Submit.
-type jobOutcome struct {
+// Ticket is an asynchronously admitted submission, returned by SubmitAsync.
+// Exactly one outcome is delivered per ticket; once Done() is closed, Wait
+// returns that outcome without blocking, any number of times, from any
+// goroutine.
+type Ticket struct {
+	id     uint64
+	done   chan struct{}
 	report *Report
 	err    error
 }
 
-// jobTicket is one admitted submission.
+// ID returns the submission's admission sequence number, unique per server
+// — the same number that namespaces the job's regions and checkpoints.
+func (t *Ticket) ID() uint64 { return t.id }
+
+// Done returns a channel closed when the job's outcome is available.
+// Callers multiplexing many tickets select on it and then call Wait.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the outcome is available or ctx ends; a nil ctx means
+// context.Background(). Wait returning ctx.Err() abandons only this call —
+// the job's lifetime follows the context given to SubmitAsync, and a later
+// Wait still observes the outcome.
+func (t *Ticket) Wait(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-t.done:
+		return t.report, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// deliver publishes the outcome. Called exactly once, by the serving side.
+func (t *Ticket) deliver(rep *Report, err error) {
+	t.report, t.err = rep, err
+	close(t.done)
+}
+
+// jobTicket is one admitted submission's server-side state.
 type jobTicket struct {
 	job      *dataflow.Job
 	ctx      context.Context
-	seq      uint64
 	enqueued time.Time
-	done     chan jobOutcome // buffered: workers never block on delivery
+	tk       *Ticket
 }
 
 // Server is the admission-controlled serving engine. It is safe for
 // concurrent use by multiple goroutines.
 type Server struct {
-	rt        *Runtime
-	maxBatch  int
-	block     bool
-	maxLinger time.Duration
-	rec       *recoveryState // nil: recovery disabled
+	rt         *Runtime
+	maxBatch   int
+	block      bool
+	maxLinger  time.Duration
+	sequential bool
+	rec        *recoveryState // nil: recovery disabled
 
 	queue chan *jobTicket
 	wg    sync.WaitGroup
@@ -166,7 +226,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	rt := cfg.Runtime
 	if rt == nil {
 		var err error
-		rt, err = New(Config{})
+		rt, err = New(cfg.ExecConfig)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +235,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if depth <= 0 {
 		depth = 64
 	}
-	workers := cfg.Workers
+	workers := cfg.EpochWorkers
 	if workers <= 0 {
 		workers = 4
 	}
@@ -209,12 +269,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	s := &Server{
-		rt:        rt,
-		maxBatch:  maxBatch,
-		block:     cfg.Block,
-		maxLinger: cfg.MaxLinger,
-		rec:       rec,
-		queue:     make(chan *jobTicket, depth),
+		rt:         rt,
+		maxBatch:   maxBatch,
+		block:      cfg.Block,
+		maxLinger:  cfg.MaxLinger,
+		sequential: cfg.Sequential,
+		rec:        rec,
+		queue:      make(chan *jobTicket, depth),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -235,12 +296,15 @@ func (s *Server) Checkpointer() *Checkpointer {
 	return s.rec.ck
 }
 
-// Submit admits a job and blocks until its report is ready, admission is
-// refused (ErrQueueFull, ErrServerClosed), or ctx ends. A nil ctx means
-// context.Background(). Cancellation is honored at every stage: a job
-// canceled while queued is never executed; one canceled mid-run is stopped
-// at the next task boundary and its regions are released.
-func (s *Server) Submit(ctx context.Context, job *dataflow.Job) (*Report, error) {
+// SubmitAsync admits a job without waiting for it to execute: it returns a
+// Ticket as soon as the job is queued, or an admission error (a validation
+// failure, ErrQueueFull, ErrServerClosed, or — when Block is set and the
+// queue stays full — ctx's error) immediately. The submission ctx governs
+// the job's whole lifetime, exactly as with Submit: a job canceled while
+// queued is never executed; one canceled mid-run is stopped at the next
+// task boundary and its regions are released. The outcome is retrieved via
+// the ticket (Done, Wait).
+func (s *Server) SubmitAsync(ctx context.Context, job *dataflow.Job) (*Ticket, error) {
 	if job == nil {
 		return nil, errors.New("core: nil job")
 	}
@@ -251,8 +315,8 @@ func (s *Server) Submit(ctx context.Context, job *dataflow.Job) (*Report, error)
 		return nil, err
 	}
 	t := &jobTicket{
-		job: job, ctx: ctx, seq: s.seq.Add(1),
-		enqueued: time.Now(), done: make(chan jobOutcome, 1),
+		job: job, ctx: ctx, enqueued: time.Now(),
+		tk: &Ticket{id: s.seq.Add(1), done: make(chan struct{})},
 	}
 
 	s.gate.RLock()
@@ -281,15 +345,19 @@ func (s *Server) Submit(ctx context.Context, job *dataflow.Job) (*Report, error)
 		}
 	}
 	s.rt.tel.Add(telemetry.LayerRuntime, "server_admitted", 1)
+	return t.tk, nil
+}
 
-	select {
-	case out := <-t.done:
-		return out.report, out.err
-	case <-ctx.Done():
-		// The worker notices the dead context at the next task boundary
-		// and cleans the run up; done is buffered, so nothing leaks.
-		return nil, ctx.Err()
+// Submit admits a job and blocks until its report is ready, admission is
+// refused (ErrQueueFull, ErrServerClosed), or ctx ends. A nil ctx means
+// context.Background(). It is exactly SubmitAsync followed by Wait on the
+// same context.
+func (s *Server) Submit(ctx context.Context, job *dataflow.Job) (*Report, error) {
+	tk, err := s.SubmitAsync(ctx, job)
+	if err != nil {
+		return nil, err
 	}
+	return tk.Wait(ctx)
 }
 
 // Close stops admission and drains: already-admitted jobs run to
@@ -370,17 +438,28 @@ func (s *Server) collect(first *jobTicket) []*jobTicket {
 
 // liveJob is one batch member's execution state.
 type liveJob struct {
-	t       *jobTicket
-	r       *run
-	order   []*dataflow.Task
-	ranks   map[string]int
-	waits   []time.Duration // virtual backoff applied before each retry
-	attempt int             // 1-based; >1 means recovery retried this submission
+	t          *jobTicket
+	r          *run
+	order      []*dataflow.Task
+	ranks      map[string]int
+	waits      []time.Duration // virtual backoff applied before each retry
+	attempt    int             // 1-based; >1 means recovery retried this submission
+	batchSize  int             // members this batch executed (Report.BatchSize)
+	batchIndex int             // this member's admission position (Report.BatchIndex)
+	overlapped bool            // executed on the shared pool, not job-after-job
 }
 
-// runBatch executes one batch in a shared virtual-time epoch. Failures and
-// cancellations are isolated per job: the failing run's regions are
-// released and only its submitter sees the error.
+// runBatch plans one batch and hands it to the mode-specific executor.
+// Failures and cancellations are isolated per job: the failing run's
+// regions are released and only its submitter sees the error.
+//
+// The two modes differ in what batch mates share. Sequential: one core
+// clock map and the epoch's accumulated backlog — members queue behind each
+// other in virtual time (RunAll semantics). Overlapped (default): members
+// get private core clocks and are planned against an empty load, so each
+// member's virtual-time report is byte-identical to running the job alone
+// at any pool size; mates contend only for wall-clock resources (the
+// shared worker pool, the allocator, the checkpoint store).
 func (s *Server) runBatch(batch []*jobTicket) {
 	rt := s.rt
 	dequeued := time.Now()
@@ -392,7 +471,7 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		rt.tel.Observe(telemetry.LayerRuntime, "server_queue_wait", dequeued.Sub(t.enqueued))
 		if err := t.ctx.Err(); err != nil {
 			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
-			t.done <- jobOutcome{err: err}
+			t.tk.deliver(nil, err)
 			continue
 		}
 		admitted = append(admitted, t)
@@ -402,17 +481,30 @@ func (s *Server) runBatch(batch []*jobTicket) {
 	}
 	rt.tel.Add(telemetry.LayerRuntime, "server_epochs", 1)
 
-	// Plan each job against the accumulating load of the batch; a
-	// scheduling failure only fails its own job.
+	// Plan every member; a scheduling failure only fails its own job.
 	epoch := rt.topo.NewEpoch()
-	cores := make(map[string][]time.Duration)
-	for _, c := range rt.topo.Computes() {
-		cores[c.ID] = make([]time.Duration, c.Cores)
+	var cores map[string][]time.Duration
+	if s.sequential {
+		cores = make(map[string][]time.Duration)
+		for _, c := range rt.topo.Computes() {
+			cores[c.ID] = make([]time.Duration, c.Cores)
+		}
 	}
 	load := rt.newLoad()
 	lives := make([]*liveJob, 0, len(admitted))
 	for _, t := range admitted {
-		schedule, err := rt.scheduleInto(t.job, load)
+		var schedule *sched.Schedule
+		var err error
+		if s.sequential {
+			// Members queue behind each other: plan against the batch's
+			// accumulating load.
+			schedule, err = rt.scheduleInto(t.job, load)
+		} else {
+			// Virtual isolation extends to planning: an empty load per
+			// member yields the same plan the job would get alone, which is
+			// what makes overlapped reports identical to solo runs.
+			schedule, err = rt.scheduleInto(t.job, rt.newLoad())
+		}
 		if err != nil {
 			s.fail(t, fmt.Errorf("core: scheduling %s: %w", t.job.Name(), err))
 			continue
@@ -424,8 +516,8 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		}
 		// A unique owner namespace per submission lets identical jobs
 		// share the epoch without region-owner collisions.
-		ns := fmt.Sprintf("%s#%d", t.job.Name(), t.seq)
-		r := rt.newRun(t.job, schedule, epoch, ns, cores)
+		ns := fmt.Sprintf("%s#%d", t.job.Name(), t.tk.id)
+		r := rt.newRun(t.job, schedule, epoch, ns, cores) // nil cores → private clocks
 		if s.rec != nil {
 			// The snapshot namespace is unique per submission, so
 			// same-named jobs in flight never cross-restore or
@@ -434,11 +526,25 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		}
 		lives = append(lives, &liveJob{t: t, r: r, order: order, ranks: ranks, attempt: 1})
 	}
+	for i, l := range lives {
+		l.batchSize, l.batchIndex, l.overlapped = len(lives), i, !s.sequential
+	}
+	if len(lives) == 0 {
+		return
+	}
+	if s.sequential {
+		s.runBatchSequential(lives, epoch, cores)
+		return
+	}
+	s.runBatchOverlapped(lives, epoch)
+}
 
-	// Each job's DAG executes as a parallel wavefront against the batch's
-	// shared cores and epoch; jobs run in admission order, each queueing
-	// behind the clock views its completed batch mates absorbed into the
-	// epoch. Failures and retries stay per job.
+// runBatchSequential executes batch members job-after-job over the shared
+// cores and epoch; jobs run in admission order, each queueing behind the
+// clock views its completed batch mates absorbed into the epoch. Failures
+// and retries stay per job.
+func (s *Server) runBatchSequential(lives []*liveJob, epoch *topology.Epoch, cores map[string][]time.Duration) {
+	rt := s.rt
 	for _, l := range lives {
 		for {
 			failed, err := l.r.runWavefront(l.order, l.ranks, rt.workers, l.t.ctx.Err)
@@ -450,7 +556,7 @@ func (s *Server) runBatch(batch []*jobTicket) {
 				// Canceled mid-wavefront: the run was already cleaned up.
 				s.forget(l.r)
 				rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
-				l.t.done <- jobOutcome{err: err}
+				l.t.tk.deliver(nil, err)
 				break
 			}
 			// Recovery: retry in place, inside this worker's epoch. The
@@ -480,10 +586,128 @@ func (s *Server) runBatch(batch []*jobTicket) {
 	}
 }
 
+// runBatchOverlapped executes all batch members concurrently on one shared
+// worker pool: every member's ready tasks compete for the pool's slots in
+// deterministic (rank, submission) order, so narrow phases of one job are
+// overlapped with its mates' work instead of idling the pool. Virtual
+// isolation keeps every member's report byte-identical to running the job
+// alone: each member prices against its own clone of the batch-start epoch
+// snapshot and its own core clocks, so a mate's failure, retry, or mere
+// presence never perturbs anyone else's virtual time. Recovery retries are
+// attached to the live pool as fresh members, overlapping with the rest of
+// the batch instead of serializing behind it; each retry inherits its
+// predecessor attempt's (deterministically rewound) core clocks and
+// checkpoints, exactly like the sequential path.
+func (s *Server) runBatchOverlapped(lives []*liveJob, epoch *topology.Epoch) {
+	rt := s.rt
+	// Batch-start snapshot: every member and every retry seeds from a clone
+	// of this view, never from a live epoch read that could see a mate's
+	// mid-flight absorbs.
+	seed := epoch.View()
+	p := newWavePool(rt.workers)
+	members := make(map[*wavefront]*liveJob, len(lives))
+	var active []*wavefront
+	for _, l := range lives {
+		w, failed, err := l.r.newWavefront(l.order, l.ranks, l.t.ctx.Err, seed.Clone())
+		if err != nil {
+			l.r.cleanup()
+			s.forget(l.r)
+			s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), failed, err))
+			continue
+		}
+		p.attach(w)
+		members[w] = l
+		active = append(active, w)
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	p.mu.Lock()
+	// Grant every member's initial claims before the first launch so the
+	// pool's (rank, submission) tiebreak sees the whole batch at once.
+	for _, w := range active {
+		w.advance()
+	}
+	p.launch()
+	for len(active) > 0 {
+		var drained []*wavefront
+		rest := active[:0]
+		for _, w := range active {
+			if w.drainedLocked() {
+				drained = append(drained, w)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		active = rest
+		if len(drained) == 0 {
+			p.cond.Wait()
+			continue
+		}
+		// Finalize drained members outside the pool lock: finalization does
+		// region teardown and checkpoint-store I/O, and the pool must keep
+		// dispatching the still-live members meanwhile.
+		p.mu.Unlock()
+		var retries []*wavefront
+		for _, w := range drained {
+			l := members[w]
+			failed, err := w.finalize()
+			if err == nil {
+				s.complete(l)
+				continue
+			}
+			if failed == "" && l.t.ctx.Err() != nil {
+				// Canceled mid-wavefront: the run was already cleaned up.
+				s.forget(l.r)
+				rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
+				l.t.tk.deliver(nil, err)
+				continue
+			}
+			if s.rec != nil && l.attempt < s.rec.maxAttempts && l.t.ctx.Err() == nil {
+				rt.tel.Add(telemetry.LayerFault, "job_retries", 1)
+				wait := backoffWait(s.rec, l.attempt)
+				nr := rt.newRun(l.t.job, l.r.schedule, epoch, l.r.ns, l.r.cores)
+				nr.ck, nr.ckID = l.r.ck, l.r.ckID
+				nr.base = l.r.base + wait
+				l.waits = append(l.waits, wait)
+				l.r = nr
+				l.attempt++
+				w2, failed2, err2 := nr.newWavefront(l.order, l.ranks, l.t.ctx.Err, seed.Clone())
+				if err2 != nil {
+					nr.cleanup()
+					s.forget(nr)
+					s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), failed2, err2))
+					continue
+				}
+				members[w2] = l
+				retries = append(retries, w2)
+				continue
+			}
+			s.forget(l.r)
+			if failed != "" {
+				s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), failed, err))
+			} else {
+				s.fail(l.t, err)
+			}
+		}
+		p.mu.Lock()
+		for _, w := range retries {
+			p.attach(w)
+			active = append(active, w)
+			w.advance()
+		}
+		if len(retries) > 0 {
+			p.launch()
+		}
+	}
+	p.mu.Unlock()
+}
+
 // fail delivers an error outcome.
 func (s *Server) fail(t *jobTicket, err error) {
 	s.rt.tel.Add(telemetry.LayerRuntime, "server_failed", 1)
-	t.done <- jobOutcome{err: err}
+	t.tk.deliver(nil, err)
 }
 
 // forget drops a terminated submission's snapshots so the checkpointer
@@ -503,6 +727,9 @@ func (s *Server) complete(l *liveJob) {
 	s.forget(l.r)
 	l.r.report.Attempts = l.attempt
 	l.r.report.AttemptWaits = l.waits
+	l.r.report.BatchSize = l.batchSize
+	l.r.report.BatchIndex = l.batchIndex
+	l.r.report.Overlapped = l.overlapped
 	span := "serve"
 	if l.attempt > 1 {
 		span = "serve-recovered"
@@ -513,5 +740,5 @@ func (s *Server) complete(l *liveJob) {
 		Layer: telemetry.LayerRuntime, Job: l.t.job.Name(),
 		Name: span, Start: 0, End: l.r.report.Makespan,
 	})
-	l.t.done <- jobOutcome{report: l.r.report}
+	l.t.tk.deliver(l.r.report, nil)
 }

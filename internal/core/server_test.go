@@ -45,7 +45,7 @@ func TestServeSingleJobMatchesRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 1})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 1})
 	got, err := s.Submit(context.Background(), pipelineJob("p"))
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestServeSingleJobMatchesRun(t *testing.T) {
 }
 
 func TestServeRejectsInvalidSubmissions(t *testing.T) {
-	s := newTestServer(t, ServerConfig{Workers: 1})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1})
 	if _, err := s.Submit(context.Background(), nil); err == nil {
 		t.Error("nil job must be rejected")
 	}
@@ -85,7 +85,7 @@ func blockingJob(name string, started chan<- struct{}, release <-chan struct{}) 
 }
 
 func TestServeQueueFullRejects(t *testing.T) {
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 1, QueueDepth: 1})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 1, QueueDepth: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
 
@@ -128,7 +128,7 @@ func TestServeQueueFullRejects(t *testing.T) {
 }
 
 func TestServeBlockingBackpressure(t *testing.T) {
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 1, QueueDepth: 1, Block: true})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 1, QueueDepth: 1, Block: true})
 	started := make(chan struct{})
 	release := make(chan struct{})
 
@@ -179,7 +179,7 @@ func TestServeBlockingBackpressure(t *testing.T) {
 }
 
 func TestServeCancelWhileQueued(t *testing.T) {
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 1, QueueDepth: 2})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 1, QueueDepth: 2})
 	started := make(chan struct{})
 	release := make(chan struct{})
 
@@ -234,7 +234,7 @@ func TestServeCancelWhileQueued(t *testing.T) {
 func TestServeBatchFailureIsolation(t *testing.T) {
 	// A failing job inside a batch must only fail its own submitter; batch
 	// mates complete and all regions drain.
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 4, QueueDepth: 4})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 4, QueueDepth: 4})
 	started := make(chan struct{})
 	release := make(chan struct{})
 
@@ -298,7 +298,7 @@ func TestServeBatchFailureIsolation(t *testing.T) {
 }
 
 func TestServeCloseDrainsAndRejects(t *testing.T) {
-	s := newTestServer(t, ServerConfig{Workers: 2, QueueDepth: 8})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 2, QueueDepth: 8})
 	const n = 6
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -331,7 +331,7 @@ func TestServeCloseDrainsAndRejects(t *testing.T) {
 // report is shared between submissions, and the runtime's byte accounting
 // returns to zero afterwards.
 func TestServeConcurrentStress(t *testing.T) {
-	s := newTestServer(t, ServerConfig{Workers: 4, MaxBatch: 4, QueueDepth: 64, Block: true})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 4, MaxBatch: 4, QueueDepth: 64, Block: true})
 	const (
 		goroutines = 8
 		perG       = 5 // 40 jobs total
@@ -431,7 +431,7 @@ func TestServeIsolatedDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 1})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 1})
 	for i := 0; i < 5; i++ {
 		rep, err := s.Submit(context.Background(), pipelineJob("p"))
 		if err != nil {

@@ -236,8 +236,7 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 	}
 	// The share inherited the creator's clock view; rebind it to this
 	// task's own before any access is priced through it.
-	sh.SetClock(c.clock())
-	sh.SetFence(c.fence)
+	sh.Rebind(c.clock(), c.fence)
 	c.noteShare(sh)
 	c.globalShares[name] = sh
 	c.noteRegion(name, sh)

@@ -36,9 +36,21 @@ package core
 //  4. Min-rank first-error-wins failure. When tasks fail, the failure that
 //     sequential execution would have hit first — the lowest rank — is the
 //     one surfaced; everything below it runs to completion (and keeps its
-//     checkpoints), in-flight work above it is drained, and snapshots that
-//     ranks above the failure produced out of order are dropped so recovery
-//     replays exactly what a sequential run would have.
+//     checkpoints), in-flight work above it is drained, snapshots that
+//     ranks above the failure produced out of order are dropped, and the
+//     run's core clocks are rewound to the deterministic post-failure state
+//     so recovery replays exactly what a sequential run would have.
+//
+// A wavefront executes inside a wavePool. Runtime.Run and RunAll drive a
+// pool with a single member; the Server's overlapped batch mode attaches
+// every batch member (and every recovery retry) to one shared pool, so many
+// jobs' ready tasks compete for the same bounded worker slots concurrently.
+// Determinism generalizes from one job to N because everything virtual is
+// per member — seed views, core clocks, claim ledgers, fences, failure
+// frontiers — and the only shared state, the pool's wall-clock worker
+// slots, never feeds back into virtual time. Cross-member dispatch order is
+// itself deterministic: the pool launches the lowest (rank, submission
+// sequence) claimed task (sched.BatchBefore).
 //
 // Peak device memory is likewise virtualized: tasks journal alloc / share /
 // release / migrate events stamped with (virtual time, rank, sequence), and
@@ -55,6 +67,7 @@ import (
 	"repro/internal/allocator"
 	"repro/internal/dataflow"
 	"repro/internal/region"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -111,14 +124,88 @@ type devState struct {
 	held  map[int]claim // core index → in-flight claim
 }
 
-// wavefront is the per-run parallel dispatcher.
-type wavefront struct {
-	r       *run
-	workers int
-	cancel  func() error // per-submission cancellation probe (Server); nil never cancels
-
+// wavePool arbitrates one bounded worker pool across one or more
+// concurrently executing wavefronts — one member per batch submission when
+// the Server overlaps jobs, exactly one for Runtime.Run and RunAll. Members
+// share the pool's lock, condition variable, and worker slots; everything
+// virtual (core clocks, claim ledgers, seed views, fences, failure
+// frontiers) stays per member, which is what keeps each job's virtual time
+// independent of its batch mates. The pool always launches the claimed task
+// with the lowest (rank, member sequence) pair — sched.BatchBefore — so
+// cross-member dispatch ties resolve by submission order, never by
+// wall-clock races; the tiebreak shapes only wall-clock interleaving, since
+// each member's virtual time is fixed by its own claim ledger.
+type wavePool struct {
 	mu   sync.Mutex
 	cond *sync.Cond
+	// slots counts free worker slots. It transiently dips below zero when a
+	// fenced task resumes before a launch completes, matching the bounded
+	// overshoot the single-job dispatcher always had.
+	slots   int
+	members []*wavefront
+}
+
+// newWavePool builds a pool with the given worker bound (minimum 1).
+func newWavePool(workers int) *wavePool {
+	if workers <= 0 {
+		workers = 1
+	}
+	p := &wavePool{slots: workers}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// attach registers a member, assigning its submission sequence. Callers
+// either hold p.mu or are the only goroutine aware of the pool yet.
+func (p *wavePool) attach(w *wavefront) {
+	w.pool = p
+	w.seq = len(p.members)
+	p.members = append(p.members, w)
+}
+
+// launch starts claimed tasks while worker slots are free, always picking
+// the lowest (rank, member sequence) claim across all members. Caller
+// holds p.mu.
+func (p *wavePool) launch() {
+	for p.slots > 0 {
+		var best *wavefront
+		for _, w := range p.members {
+			if w.canceled != nil || len(w.dispatch) == 0 {
+				continue
+			}
+			if best == nil || sched.BatchBefore(w.dispatch[0], w.seq, best.dispatch[0], best.seq) {
+				best = w
+			}
+		}
+		if best == nil {
+			return
+		}
+		k := best.dispatch[0]
+		best.dispatch = best.dispatch[1:]
+		best.state[k] = tsRunning
+		best.inflight++
+		p.slots--
+		go best.runTask(k)
+	}
+}
+
+// wavefront is one run's dispatcher state — one member of a wavePool.
+type wavefront struct {
+	r      *run
+	pool   *wavePool
+	seq    int          // submission sequence within the pool (dispatch tiebreak)
+	cancel func() error // per-submission cancellation probe (Server); nil never cancels
+
+	// seed is the epoch snapshot every task of this run prices against
+	// (merged with predecessor views). Snapshotting once — instead of
+	// reading the epoch per task — is what keeps overlapped batch members
+	// deterministic: a mate that finishes mid-flight absorbs its views into
+	// the shared epoch, and a live read would leak that wall-clock-dependent
+	// backlog into this job's virtual time.
+	seed *topology.TaskView
+	// baseCores snapshots the run's core clocks at wavefront construction,
+	// so a failure can rewind them to the deterministic sequential state.
+	baseCores map[string][]time.Duration
 
 	order    []*dataflow.Task
 	rank     map[string]int
@@ -132,11 +219,11 @@ type wavefront struct {
 	views      []*topology.TaskView // final clock views of done tasks
 	finish     []time.Duration
 	restored   []bool // checkpointed in a prior attempt: restore, don't run
+	reported   []bool // produced a task report (ran or restored to completion)
 	claimCore  []int
 	claimStart []time.Duration
 	dispatch   []int // claimed ranks awaiting a worker slot, ascending
 
-	active   int // workers executing and not blocked at a fence
 	inflight int // goroutines launched and not yet returned
 	frontier int // lowest rank not yet done
 	done     int
@@ -146,41 +233,64 @@ type wavefront struct {
 	canceled error
 }
 
-// runWavefront executes the run's whole DAG on the dispatcher and blocks
-// until it drains. On success the run's report (peak memory, makespan) is
-// finalized and every task's clock view is absorbed into the epoch; on
-// failure every live region is released and the returned task/error pair
-// identifies the lowest-rank failure. A cancellation (cancel returning
-// non-nil) surfaces as failedTask == "" with the probe's error.
+// runWavefront executes the run's whole DAG on a single-member pool and
+// blocks until it drains — the Runtime.Run / RunAll / sequential-batch
+// engine. On success the run's report (peak memory, makespan) is finalized
+// and every task's clock view is absorbed into the epoch; on failure every
+// live region is released and the returned task/error pair identifies the
+// lowest-rank failure. A cancellation (cancel returning non-nil) surfaces
+// as failedTask == "" with the probe's error.
 func (r *run) runWavefront(order []*dataflow.Task, ranks map[string]int, workers int, cancel func() error) (failedTask string, err error) {
+	w, failed, err := r.newWavefront(order, ranks, cancel, r.epoch.View())
+	if err != nil {
+		r.cleanup()
+		return failed, err
+	}
+	p := newWavePool(workers)
+	p.attach(w)
+	p.mu.Lock()
+	w.pump()
+	for !w.drainedLocked() {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	return w.finalize()
+}
+
+// newWavefront validates the run's plan and assembles its dispatcher state:
+// per-device claim queues, predecessor counts, the causal seed view, the
+// core-clock snapshot failure rewinds restore, and the eager rank-ordered
+// injection / restore pre-pass. The returned wavefront is not yet attached
+// to a pool. On a validation error the failing task's ID is returned and
+// the caller owns run cleanup.
+func (r *run) newWavefront(order []*dataflow.Task, ranks map[string]int, cancel func() error, seed *topology.TaskView) (*wavefront, string, error) {
 	// Validate the plan up front so scheduling gaps surface as task errors
 	// rather than mid-flight panics.
 	for _, t := range order {
 		asg, ok := r.schedule.Assignments[t.ID()]
 		if !ok {
-			r.cleanup()
-			return t.ID(), errors.New("core: task missing from schedule")
+			return nil, t.ID(), errors.New("core: task missing from schedule")
 		}
 		if _, ok := r.rt.topo.Compute(asg.Compute); !ok {
-			r.cleanup()
-			return t.ID(), fmt.Errorf("core: scheduled on unknown device %s", asg.Compute)
+			return nil, t.ID(), fmt.Errorf("core: scheduled on unknown device %s", asg.Compute)
 		}
-	}
-	if workers <= 0 {
-		workers = 1
 	}
 	n := len(order)
 	w := &wavefront{
-		r: r, workers: workers, cancel: cancel,
+		r: r, cancel: cancel, seed: seed,
 		order: order, rank: ranks,
 		devOf: make([]string, n), devs: make(map[string]*devState),
 		state: make([]taskState, n), unmet: make([]int, n),
 		readyAt: make([]time.Duration, n), views: make([]*topology.TaskView, n),
 		finish: make([]time.Duration, n), restored: make([]bool, n),
+		reported:  make([]bool, n),
 		claimCore: make([]int, n), claimStart: make([]time.Duration, n),
-		failRank: -1,
+		baseCores: make(map[string][]time.Duration, len(r.cores)),
+		failRank:  -1,
 	}
-	w.cond = sync.NewCond(&w.mu)
+	for dev, cs := range r.cores {
+		w.baseCores[dev] = append([]time.Duration(nil), cs...)
+	}
 	for k, t := range order {
 		dev := r.schedule.Assignments[t.ID()].Compute
 		w.devOf[k] = dev
@@ -219,40 +329,54 @@ func (r *run) runWavefront(order []*dataflow.Task, ranks map[string]int, workers
 			}
 		}
 	}
+	return w, "", nil
+}
 
-	w.mu.Lock()
-	w.pump()
-	for !w.drainedLocked() {
-		w.cond.Wait()
-	}
-	canceled, failTask, failErr := w.canceled, w.failTask, w.failErr
-	failRank := w.failRank
-	w.mu.Unlock()
-
-	if canceled != nil {
+// finalize settles a drained wavefront: releases the run's regions and, on
+// success, folds its clock views into the epoch and finalizes the report's
+// peak-memory and makespan figures. On failure it additionally drops
+// snapshots that ranks above the failure produced out of sequential order,
+// and rewinds the run's core clocks to the deterministic post-failure
+// state: the construction-time snapshot replayed with exactly the
+// completions a sequential run would have made (reported ranks at or below
+// the failure). Without the rewind, in-flight tasks above the failure rank
+// — which only exist at Workers>1 — would leave their finish times on the
+// clocks and make every retry's virtual time depend on the pool size.
+//
+// Must be called exactly once, after drainedLocked() was observed under the
+// pool lock; at that point no task goroutine of this member is live, so its
+// state is safe to read unlocked.
+func (w *wavefront) finalize() (failedTask string, err error) {
+	r := w.r
+	if w.canceled != nil {
 		r.cleanup()
-		return "", canceled
+		return "", w.canceled
 	}
-	if failRank >= 0 {
-		// Drop snapshots that ranks above the failure produced out of
-		// sequential order: a sequential run would never have executed them,
-		// so recovery must not replay them.
+	if w.failRank >= 0 {
 		if r.ck != nil {
-			for k := failRank + 1; k < n; k++ {
+			for k := w.failRank + 1; k < len(w.order); k++ {
 				if w.state[k] == tsDone && !w.restored[k] {
-					r.ck.drop(r.ckID, order[k].ID())
+					r.ck.drop(r.ckID, w.order[k].ID())
 				}
 			}
 		}
+		for dev, base := range w.baseCores {
+			copy(r.cores[dev], base)
+		}
+		for k := 0; k <= w.failRank && k < len(w.order); k++ {
+			if w.reported[k] {
+				r.cores[w.devOf[k]][w.claimCore[k]] = w.finish[k]
+			}
+		}
 		r.cleanup()
-		return failTask, failErr
+		return w.failTask, w.failErr
 	}
 
 	// Success: fold every task's clock view back into the epoch so batch
-	// mates that run after this job queue behind its device backlog.
-	for _, v := range w.views {
-		r.epoch.Absorb(v)
-	}
+	// mates that run after this job queue behind its device backlog
+	// (sequential batches and RunAll; overlapped members never re-read the
+	// epoch, so for them this is inert bookkeeping).
+	r.epoch.AbsorbViews(w.views...)
 	r.cleanup()
 	r.computePeak()
 	r.report.PeakDeviceBytes = r.peak
@@ -265,7 +389,7 @@ func (r *run) runWavefront(order []*dataflow.Task, ranks map[string]int, workers
 }
 
 // drainedLocked reports whether the wavefront has nothing left to do.
-// Caller holds w.mu.
+// Caller holds the pool lock.
 func (w *wavefront) drainedLocked() bool {
 	if w.inflight > 0 {
 		return false
@@ -279,14 +403,23 @@ func (w *wavefront) drainedLocked() bool {
 	return w.done == len(w.order)
 }
 
-// pump advances the dispatcher: grants core claims in rank order per
-// device, then launches claimed tasks (lowest rank first) while worker
-// slots are free. Caller holds w.mu.
+// pump advances this member (claim granting, cancellation probe, failure
+// revocation) and then lets the pool launch whatever is now dispatchable —
+// across all members. Caller holds the pool lock.
 func (w *wavefront) pump() {
+	w.advance()
+	w.pool.launch()
+}
+
+// advance grants core claims in rank order per device, probes cancellation,
+// and revokes claims orphaned by a failure. It never launches; the pool
+// does, so cross-member dispatch order stays deterministic. Caller holds
+// the pool lock.
+func (w *wavefront) advance() {
 	if w.cancel != nil && w.canceled == nil {
 		if err := w.cancel(); err != nil {
 			w.canceled = err
-			w.cond.Broadcast()
+			w.pool.cond.Broadcast()
 		}
 	}
 	if w.canceled != nil {
@@ -346,15 +479,6 @@ func (w *wavefront) pump() {
 			}
 			w.dispatch = keep
 		}
-		for len(w.dispatch) > 0 && w.active < w.workers {
-			k := w.dispatch[0]
-			w.dispatch = w.dispatch[1:]
-			w.state[k] = tsRunning
-			w.active++
-			w.inflight++
-			go w.runTask(k)
-			progress = true
-		}
 		if !progress {
 			return
 		}
@@ -397,12 +521,12 @@ func insertRank(s []int, k int) []int {
 	return s
 }
 
-// seedView builds the task's causal clock view: the epoch's state at run
-// start merged with every predecessor's final view. Predecessor views are
-// published under w.mu before the successor launches, so reading them here
-// without the lock is race-free.
+// seedView builds the task's causal clock view: the wavefront's seed
+// snapshot merged with every predecessor's final view. Predecessor views
+// are published under the pool lock before the successor launches, so
+// reading them here without the lock is race-free.
 func (w *wavefront) seedView(k int) *topology.TaskView {
-	v := w.r.epoch.View()
+	v := w.seed.Clone()
 	for _, p := range w.order[k].Preds() {
 		v.Merge(w.views[w.rank[p.ID()]])
 	}
@@ -416,15 +540,17 @@ func (w *wavefront) runTask(k int) {
 	view := w.seedView(k)
 	fin, rep, err := w.r.execTaskAt(w, k, t, view, w.claimStart[k])
 
-	w.mu.Lock()
+	p := w.pool
+	p.mu.Lock()
 	w.inflight--
-	w.active--
+	p.slots++
 	dev := w.devOf[k]
 	delete(w.devs[dev].held, w.claimCore[k])
 	if rep != nil {
 		// The task ran to completion (possibly with a release error):
 		// its core clock and report are recorded either way, exactly like
 		// the sequential engine.
+		w.reported[k] = true
 		w.r.cores[dev][w.claimCore[k]] = fin
 		w.finish[k] = fin
 		w.r.finish[t.ID()] = fin
@@ -454,35 +580,38 @@ func (w *wavefront) runTask(k int) {
 		}
 	}
 	w.pump()
-	w.cond.Broadcast()
-	w.mu.Unlock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
-// fence blocks the calling task (rank k) until every lower rank has
-// completed — the rank-order barrier installed on coherence-priced accesses
-// and global first-use. The waiting task releases its worker slot so the
-// pool cannot starve; it aborts if a rank below it fails (its own outcome
-// would be unobservable sequentially) or the run is canceled.
+// fence blocks the calling task (rank k) until every lower rank of its own
+// wavefront has completed — the rank-order barrier installed on
+// coherence-priced accesses and global first-use. The barrier is strictly
+// per member: batch mates sharing the pool never fence against each other.
+// The waiting task releases its worker slot so the pool cannot starve; it
+// aborts if a rank below it fails (its own outcome would be unobservable
+// sequentially) or the run is canceled.
 func (w *wavefront) fence(k int) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	p := w.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if w.frontier >= k {
 		return nil
 	}
-	w.active--
+	p.slots++
 	w.pump()
 	for w.frontier < k {
 		if w.failRank >= 0 && w.failRank < k {
-			w.active++
+			p.slots--
 			return errWavefrontAborted
 		}
 		if w.canceled != nil {
-			w.active++
+			p.slots--
 			return w.canceled
 		}
-		w.cond.Wait()
+		p.cond.Wait()
 	}
-	w.active++
+	p.slots--
 	return nil
 }
 

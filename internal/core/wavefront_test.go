@@ -135,6 +135,11 @@ func TestWavefrontDeterministicAcrossWorkerCounts(t *testing.T) {
 				}
 				t.Fatalf("workers=%d: task reports diverge", w)
 			}
+			// Everything else too — batch metadata, attempts, scheduler and
+			// placer names: the whole report is a pure function of the job.
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d: full report diverges:\n%+v\n!=\n%+v", w, got, want)
+			}
 		}
 		if rt.Regions().Live() != 0 {
 			t.Fatalf("workers=%d leaked %d regions", w, rt.Regions().Live())
@@ -189,7 +194,7 @@ func TestWavefrontCancellationDrainsClean(t *testing.T) {
 		})
 		first.Then(tk)
 	}
-	s := newTestServer(t, ServerConfig{Workers: 1, MaxBatch: 1})
+	s := newTestServer(t, ServerConfig{EpochWorkers: 1, MaxBatch: 1})
 	_, err := s.Submit(ctx, j)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -218,7 +223,7 @@ func TestServeMaxLingerBoundsQueueWait(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newTestServer(t, ServerConfig{
-		Runtime: rt, Workers: 2, MaxBatch: 8, Block: true,
+		Runtime: rt, EpochWorkers: 2, MaxBatch: 8, Block: true,
 		MaxLinger: 10 * time.Millisecond,
 	})
 	const jobs = 24
@@ -372,7 +377,7 @@ func BenchmarkServeParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			s, err := NewServer(ServerConfig{Runtime: rt, Workers: 2, MaxBatch: 4, Block: true})
+			s, err := NewServer(ServerConfig{Runtime: rt, EpochWorkers: 2, MaxBatch: 4, Block: true})
 			if err != nil {
 				b.Fatal(err)
 			}

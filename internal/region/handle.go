@@ -46,6 +46,15 @@ func (h *Handle) SetClock(clk topology.VClock) { h.clock = clk }
 // Like SetClock, it is only called at handoff points.
 func (h *Handle) SetFence(f func() error) { h.fence = f }
 
+// Rebind installs clock view and fence together — the runtime's task-
+// boundary handoff. A handle crossing into a task must get both from that
+// task (its causal view, its rank fence); rebinding them atomically at one
+// call site keeps the pair from drifting apart as handoff points multiply.
+func (h *Handle) Rebind(clk topology.VClock, f func() error) {
+	h.clock = clk
+	h.fence = f
+}
+
 // ID returns the region id.
 func (h *Handle) ID() ID { return h.id }
 

@@ -52,6 +52,19 @@ func (s *Schedule) Order() []string {
 	return ids
 }
 
+// BatchBefore is the deterministic cross-job dispatch order used when a
+// serving batch overlaps several jobs on one worker pool: task rank first
+// (the within-job sequential order), submission sequence as the tiebreak.
+// Wall-clock interleaving between batch members is thereby a pure function
+// of the batch — independent of pool size and goroutine scheduling — which
+// is the batch-wide counterpart of the per-job rank order.
+func BatchBefore(rankA, seqA, rankB, seqB int) bool {
+	if rankA != rankB {
+		return rankA < rankB
+	}
+	return seqA < seqB
+}
+
 // Scheduler plans a job onto a topology.
 type Scheduler interface {
 	Schedule(job *dataflow.Job, topo *topology.Topology) (*Schedule, error)

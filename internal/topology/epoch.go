@@ -112,6 +112,25 @@ func (e *Epoch) Absorb(v *TaskView) {
 	}
 }
 
+// AbsorbViews folds several task views into the epoch under one lock
+// acquisition — the bulk form of Absorb a drained wavefront uses to publish
+// its whole run at once. Nil entries (tasks that never completed) are
+// skipped.
+func (e *Epoch) AbsorbViews(vs ...*TaskView) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		for id, t := range v.busy {
+			if t > e.busy[id] {
+				e.busy[id] = t
+			}
+		}
+	}
+}
+
 // TaskView is one task's causal view of the device queues inside a
 // wavefront run. It seeds from the element-wise max of the task's
 // predecessors' final views, so a task queues behind exactly the accesses
