@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke serve serve-recover clean
+.PHONY: all build vet test race bench bench-smoke doccheck serve serve-recover clean
 
-all: build vet test race
+all: build vet test race doccheck
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkServeOverlap \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_serve.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_serve.json | head -20 || true
+	$(GO) test -run XXX -bench BenchmarkRecoverPartial \
+		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_recover.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_recover.json | head -20 || true
+
+# Fail if any exported identifier in the facade package lacks a doc comment.
+doccheck:
+	$(GO) run ./cmd/doccheck .
 
 # Smoke-run the admission-controlled serving mode.
 serve:

@@ -27,7 +27,9 @@
 // succeeds. Without -recover the failures surface to the submitters; with
 // -recover every job checkpoints task outputs into a replicated far-memory
 // store and is retried (-maxattempts) with checkpointed tasks restored
-// instead of re-executed.
+// instead of re-executed. Adding -partialreplay keeps retries byte-identical
+// in virtual time but restores checkpoint payloads lazily — only snapshots a
+// re-executed task actually reads come back from the store.
 package main
 
 import (
@@ -64,6 +66,7 @@ func main() {
 	maxBatch := flag.Int("batch", 8, "serve mode: max jobs folded into one shared epoch")
 	overlap := flag.Bool("overlap", true, "serve mode: overlap whole jobs of a batch on the shared worker pool (false = legacy job-after-job batches)")
 	recover := flag.Bool("recover", false, "checkpointed recovery: retry failed jobs, restoring completed tasks")
+	partialReplay := flag.Bool("partialreplay", false, "with -recover: restore checkpoint payloads lazily, skipping store reads no re-executed task needs")
 	faultRate := flag.Float64("faultrate", 0, "inject one deterministic fault into this fraction of task sites (0..1)")
 	maxAttempts := flag.Int("maxattempts", 3, "recovery: total runs per submission")
 	execWorkers := flag.Int("execworkers", 0, "wavefront executor pool size per run (0 = GOMAXPROCS); virtual time is identical for every value")
@@ -137,7 +140,8 @@ func main() {
 			jobName: *jobName, jobList: *jobList,
 			workers: *workers, queueDepth: *queueDepth, maxBatch: *maxBatch,
 			overlap: *overlap,
-			recover: *recover, maxAttempts: *maxAttempts, inject: inject,
+			recover: *recover, partialReplay: *partialReplay,
+			maxAttempts: *maxAttempts, inject: inject,
 		}); err != nil {
 			fatal(err)
 		}
@@ -197,13 +201,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		run := rt.RunWithRecovery
+		if *partialReplay {
+			run = rt.RunWithPartialReplay
+		}
 		var attempts int
-		rep, attempts, err = rt.RunWithRecovery(job, core.NewCheckpointer(store), *maxAttempts)
+		rep, attempts, err = run(job, core.NewCheckpointer(store), *maxAttempts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("recovered run: %d attempt(s), %d restore(s)\n",
-			attempts, tel.Counter(telemetry.LayerFault, "restores"))
+		fmt.Printf("recovered run: %d attempt(s), %d restore(s), %d task(s) skipped, %d replayed, %d bytes restored\n",
+			attempts, tel.Counter(telemetry.LayerFault, "restores"),
+			rep.SkippedTasks, rep.ReplayedTasks,
+			tel.Counter(telemetry.LayerFault, "restored_bytes"))
 	} else {
 		rep, err = rt.Run(job)
 		if err != nil {
@@ -230,6 +240,7 @@ type serveOpts struct {
 	workers, queueDepth, maxBatch int
 	overlap                       bool
 	recover                       bool
+	partialReplay                 bool
 	maxAttempts                   int
 	inject                        *fault.Injector
 }
@@ -281,7 +292,10 @@ func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) 
 		if err != nil {
 			return err
 		}
-		cfg.Recovery = &core.RecoveryPolicy{Store: store, MaxAttempts: o.maxAttempts}
+		cfg.Recovery = &core.RecoveryPolicy{
+			Store: store, MaxAttempts: o.maxAttempts,
+			PartialReplay: o.partialReplay,
+		}
 	}
 	srv, err := core.NewServer(cfg)
 	if err != nil {
@@ -345,6 +359,9 @@ func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) 
 			tel.Counter(telemetry.LayerFault, "checkpoints"),
 			tel.Counter(telemetry.LayerFault, "restores"),
 			tel.Counter(telemetry.LayerRuntime, "server_recovered"))
+		fmt.Printf("restore I/O: %d bytes fetched, %d lazy hydration(s)\n",
+			tel.Counter(telemetry.LayerFault, "restored_bytes"),
+			tel.Counter(telemetry.LayerFault, "lazy_hydrations"))
 	}
 	return nil
 }

@@ -1,0 +1,145 @@
+// Command doccheck enforces godoc coverage on a package's public API: it
+// parses the non-test Go files of each listed package directory and fails
+// (exit 1) if any exported identifier — function, type, method, or the
+// names of an exported const/var declaration — lacks a doc comment.
+//
+// Usage:
+//
+//	doccheck [dir ...]    # defaults to "."
+//
+// The check is deliberately narrow: it looks only at declarations in the
+// listed directories (the repository gates the root facade package), and a
+// grouped const/var block counts as documented if the block itself has a
+// doc comment. Blank identifiers and compile-time assertion vars like
+// `var _ Iface = ...` are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var missing []string
+	for _, dir := range dirs {
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments:\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test .go file in dir and returns one
+// "file:line: kind Name" entry per undocumented exported declaration.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					kind := "func"
+					name := d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						// Methods count only when the receiver type is
+						// itself exported — methods on unexported types
+						// are not part of the public API surface.
+						recv := recvTypeName(d.Recv.List[0].Type)
+						if recv == "" || !ast.IsExported(recv) {
+							continue
+						}
+						kind = "method"
+						name = recv + "." + name
+					}
+					report(d.Pos(), kind, name)
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// checkGenDecl handles const/var/type declarations. A doc comment on the
+// grouped declaration documents every spec inside it; otherwise each
+// exported spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName unwraps a method receiver type down to its identifier:
+// *T → T, generic T[P] → T.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -2,11 +2,20 @@ package repro_test
 
 // Keeps every runnable example green: each one is built and executed via
 // the Go toolchain. Skipped under -short (they spawn processes).
+//
+// The Example functions below are the godoc-visible tour of the facade:
+// asynchronous serving via tickets, and checkpointed recovery with partial
+// replay. Their Output comments are exact — virtual time is deterministic,
+// so the printed task and attempt counts never flake.
 
 import (
+	"context"
+	"fmt"
 	"os/exec"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestExamplesRun(t *testing.T) {
@@ -37,4 +46,91 @@ func TestExamplesRun(t *testing.T) {
 			}
 		})
 	}
+}
+
+// exampleJob builds a tiny three-stage pipeline. Tasks declare their cost
+// and output size declaratively (TaskProps); nil bodies let the runtime
+// synthesize the compute and the output region.
+func exampleJob(name string) *repro.Job {
+	j := repro.NewJob(name)
+	load := j.Task("load", repro.TaskProps{Ops: 1e6, OutputBytes: 4 << 10}, nil)
+	transform := j.Task("transform", repro.TaskProps{Ops: 2e6, OutputBytes: 4 << 10}, nil)
+	sink := j.Task("sink", repro.TaskProps{Ops: 1e5}, nil)
+	load.Then(transform)
+	transform.Then(sink)
+	return j
+}
+
+// ExampleServer_SubmitAsync submits jobs through the admission-controlled
+// server without blocking: SubmitAsync returns a Ticket immediately, and
+// Wait collects each job's report later, in any order.
+func ExampleServer_SubmitAsync() {
+	rt, err := repro.NewRuntime(repro.RuntimeConfig{})
+	if err != nil {
+		panic(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Runtime: rt, Block: true})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// Enqueue both jobs up front; neither call blocks on execution.
+	var tickets []*repro.Ticket
+	for _, name := range []string{"etl-a", "etl-b"} {
+		tk, err := srv.SubmitAsync(ctx, exampleJob(name))
+		if err != nil {
+			panic(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		rep, err := tk.Wait(ctx)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d tasks in %d attempt(s)\n", rep.Job, len(rep.Tasks), rep.Attempts)
+	}
+	if err := srv.Close(ctx); err != nil {
+		panic(err)
+	}
+	// Output:
+	// etl-a: 3 tasks in 1 attempt(s)
+	// etl-b: 3 tasks in 1 attempt(s)
+}
+
+// ExampleRuntime_RunWithPartialReplay recovers a job whose sink fails once.
+// The retry completes the two checkpointed upstream tasks from their
+// snapshots (skipped) and re-executes only the failed sink (replayed);
+// partial replay additionally fetches a snapshot's payload from the store
+// only when a re-executed task actually reads it. The recovered report is
+// byte-identical to RunWithRecovery's.
+func ExampleRuntime_RunWithPartialReplay() {
+	inj := repro.NewFaultInjector(1, 0, 1)
+	inj.Kill("sink", 1) // the sink's first execution fails
+
+	rt, err := repro.NewRuntime(repro.RuntimeConfig{Inject: inj})
+	if err != nil {
+		panic(err)
+	}
+	// Checkpoints live in a 2-way replicated far-memory store.
+	fabric := repro.NewFabric(repro.FabricConfig{})
+	for i := 0; i < 3; i++ {
+		if err := fabric.AddNode(fmt.Sprintf("ckmem%d", i), 1<<26); err != nil {
+			panic(err)
+		}
+	}
+	store, err := repro.NewReplicatedStore(fabric, 2)
+	if err != nil {
+		panic(err)
+	}
+
+	rep, attempts, err := rt.RunWithPartialReplay(exampleJob("etl"), repro.NewCheckpointer(store), 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered in %d attempts: %d skipped, %d replayed\n",
+		attempts, rep.SkippedTasks, rep.ReplayedTasks)
+	// Output:
+	// recovered in 2 attempts: 2 skipped, 1 replayed
 }

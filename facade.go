@@ -90,7 +90,8 @@ type (
 	MultiReport = core.MultiReport
 	// MultiConfig tunes concurrent execution.
 	MultiConfig = core.MultiConfig
-	// Checkpointer persists task outputs for RunWithRecovery.
+	// Checkpointer persists task outputs for Runtime.RunWithRecovery and
+	// Runtime.RunWithPartialReplay.
 	Checkpointer = core.Checkpointer
 	// Server is the concurrent job-submission engine: bounded admission
 	// queue, worker pool batching jobs into shared virtual-time epochs,
@@ -103,6 +104,8 @@ type (
 	Ticket = core.Ticket
 	// RecoveryPolicy makes served jobs fault-tolerant: checkpointed task
 	// outputs, bounded retries, virtual-time backoff (ServerConfig.Recovery).
+	// Set PartialReplay to restore checkpoint payloads lazily on retries;
+	// recovered reports stay byte-identical to full replay either way.
 	RecoveryPolicy = core.RecoveryPolicy
 	// Topology is the simulated hardware graph.
 	Topology = topology.Topology

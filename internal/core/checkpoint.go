@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/fault"
+	"repro/internal/region"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +56,20 @@ type ckEntry struct {
 	// (possibly with an empty payload — successors still expect delivery)
 	// from a sink that completed without one.
 	hasOutput bool
+	// recorded marks the snapshot of a task that fully completed, making
+	// it warm-replayable: restoreCost below is valid, and partial replay
+	// may defer the real store fetch until a re-executed consumer needs
+	// the payload. A snapshot without a record (the task failed between
+	// checkpoint and completion, or the entry was seeded outside the
+	// engine) replays cold — the store round trip is performed, and its
+	// observed price charged, eagerly in both modes.
+	recorded bool
+	// restoreCost is the virtual price charged for replaying a recorded
+	// snapshot — the snapshot Put duration, used as the deterministic
+	// proxy for a restore Get in both replay modes: the store's Get cost
+	// can depend on mutable cluster state (degraded erasure reads), and
+	// partial replay must know the price without performing the Get.
+	restoreCost time.Duration
 }
 
 // NewCheckpointer wraps a fault-tolerant store.
@@ -109,6 +124,22 @@ func (c *Checkpointer) snapshot(runID, task string, data []byte, hasOutput bool)
 		c.store.Delete(old.obj) //nolint:errcheck // best-effort GC
 	}
 	return d, nil
+}
+
+// record marks an existing snapshot entry warm-replayable, attaching its
+// deterministic restore price. It is called once per task, at the very end
+// of the success path, so a task that failed after its snapshot keeps a
+// record-less entry and replays through the cold path. A re-snapshot
+// (snapshot called again for the same task) resets the entry cold until
+// the re-run completes and records again.
+func (c *Checkpointer) record(runID, task string, restoreCost time.Duration) {
+	key := ckKey(runID, task)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.recorded, e.restoreCost = true, restoreCost
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
 }
 
 // restore fetches a snapshot's bytes. hasOutput reports whether the task
@@ -191,11 +222,33 @@ func defaultFaultStore() (fault.Store, error) {
 
 // RunWithRecovery executes the job, checkpointing each task's output into
 // ck's store; on task failure it retries (up to maxAttempts total runs),
-// restoring completed tasks from their snapshots instead of re-executing
-// them. Returns the final report, the number of attempts used, and the
-// first error if all attempts failed. Snapshots are forgotten on success
-// and after the final failed attempt (nothing will ever replay them).
+// replaying completed tasks from their checkpoint records instead of
+// re-executing them. Every retry eagerly re-materializes each replayed
+// task's output from the store (whole-job replay: the full restore I/O is
+// paid up front). Returns the final report, the number of attempts used,
+// and the first error if all attempts failed. Snapshots are forgotten on
+// success and after the final failed attempt (nothing will ever replay
+// them).
 func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttempts int) (*Report, int, error) {
+	return rt.runRecovery(job, ck, maxAttempts, false)
+}
+
+// RunWithPartialReplay is RunWithRecovery with lazy restore I/O: on a retry,
+// completed tasks are still marked done from their records, but a task's
+// output is fetched from the store only when a replayed successor actually
+// consumes it. Interior outputs of the skipped prefix — those no replayed
+// task ever reads — are never fetched at all, which is where wide or deep
+// DAGs save retry latency. The final report is byte-identical to
+// RunWithRecovery's at any Workers setting: virtual time charges the same
+// recorded restore price per consumed input in both modes, and only the
+// real (wall-clock) store traffic differs.
+func (rt *Runtime) RunWithPartialReplay(job *dataflow.Job, ck *Checkpointer, maxAttempts int) (*Report, int, error) {
+	return rt.runRecovery(job, ck, maxAttempts, true)
+}
+
+// runRecovery is the shared retry loop behind RunWithRecovery (eager
+// restore) and RunWithPartialReplay (lazy restore).
+func (rt *Runtime) runRecovery(job *dataflow.Job, ck *Checkpointer, maxAttempts int, partial bool) (*Report, int, error) {
 	if ck == nil {
 		return nil, 0, fmt.Errorf("core: nil checkpointer")
 	}
@@ -205,10 +258,13 @@ func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttem
 	id := ck.runID(job.Name())
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		rep, err := rt.execute(job, ck, id)
+		rep, err := rt.execute(job, ck, id, partial)
 		if err == nil {
 			ck.Forget(id)
 			rep.Attempts = attempt
+			if attempt > 1 {
+				rep.ReplayedTasks = len(rep.Tasks) - rep.SkippedTasks
+			}
 			return rep, attempt, nil
 		}
 		lastErr = err
@@ -219,7 +275,9 @@ func (rt *Runtime) RunWithRecovery(job *dataflow.Job, ck *Checkpointer, maxAttem
 }
 
 // checkpointTask snapshots a completed task's output (if any) into the
-// checkpointer's store, charging the store's virtual time to the task.
+// checkpointer's store, charging the store's virtual time to the task. The
+// Put price is stashed on the context: when the task fully completes it
+// becomes the entry's deterministic replay price (record).
 func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
 	var data []byte
 	hasOutput := ctx.output != nil
@@ -241,16 +299,65 @@ func (r *run) checkpointTask(ctx *taskCtx, t *dataflow.Task) error {
 		return err
 	}
 	ctx.now += d
+	ctx.ckRestoreCost = d
 	r.rt.tel.Add(telemetry.LayerFault, "checkpoints", 1)
+	return nil
+}
+
+// lazyRestore tracks one replayed producer's re-materialized output region
+// under partial replay: the region holds a placeholder payload until a
+// re-executed consumer receives it as input and hydrates the real bytes.
+// The mutex serializes concurrent consumers of a shared output — only the
+// wall-clock fetch is serialized, never virtual time.
+type lazyRestore struct {
+	mu   sync.Mutex
+	size int64
+	done bool
+}
+
+// hydrate fetches the replayed producer's payload from the checkpoint store
+// (once) and writes it raw into the re-materialized region. The restore's
+// virtual price was already charged when the producer replayed; this is
+// pure real I/O, counted in the fault layer's restored_bytes gauge — the
+// quantity partial replay exists to shrink.
+func (lr *lazyRestore) hydrate(r *run, task string, h *region.Handle) error {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.done {
+		return nil
+	}
+	data, _, _, err := r.ck.restore(r.ckID, task)
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if err := h.Hydrate(0, data); err != nil {
+			return err
+		}
+	}
+	lr.done = true
+	r.rt.tel.Add(telemetry.LayerFault, "lazy_hydrations", 1)
+	r.rt.tel.Add(telemetry.LayerFault, "restored_bytes", int64(len(data)))
 	return nil
 }
 
 // restoreTaskAt replays a checkpointed task on a wavefront worker: inputs
 // are discarded (their producer's effect is already captured downstream),
-// the stored output is materialized into a fresh region, and delivery
+// the stored output is re-materialized into a fresh region, and delivery
 // proceeds as usual — even for an empty payload, so successors that
 // legitimately expect the region are never starved. The dispatcher folds
 // the returned finish time and report into the run, like any executed task.
+//
+// Replay charges one store round trip of virtual time. For a recorded
+// (warm) snapshot the price is the deterministic recorded Put cost, and
+// partial replay elides the real store fetch entirely: a placeholder
+// payload of the snapshot's exact size backs the region until a
+// re-executed consumer hydrates it (run.lazy) — so outputs no re-executed
+// task ever reads are never fetched at all. The virtual timeline, and with
+// it the final report, is byte-identical between the modes; only the real
+// store traffic differs. A record-less (cold) snapshot — the task failed
+// after its checkpoint, or the entry was seeded outside the engine —
+// fetches eagerly in both modes and charges the observed Get price.
 func (r *run) restoreTaskAt(ctx *taskCtx, t *dataflow.Task, start time.Duration) (time.Duration, *TaskReport, error) {
 	for _, p := range t.Preds() {
 		r.smu.Lock()
@@ -266,13 +373,33 @@ func (r *run) restoreTaskAt(ctx *taskCtx, t *dataflow.Task, start time.Duration)
 		}
 	}
 	// Adopt inputs list as empty: the restored task does not run.
-	data, hasOutput, d, err := r.ck.restore(r.ckID, t.ID())
-	if err != nil {
-		return 0, nil, err
+	e, ok := r.ck.lookup(r.ckID, t.ID())
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no checkpoint for %s/%s", r.ckID, t.ID())
 	}
-	ctx.now += d
+	lazy := r.partial && e.recorded
+	var data []byte
+	hasOutput := e.hasOutput
+	if lazy {
+		ctx.now += e.restoreCost
+	} else {
+		var d time.Duration
+		var err error
+		data, hasOutput, d, err = r.ck.restore(r.ckID, t.ID())
+		if err != nil {
+			return 0, nil, err
+		}
+		if e.recorded {
+			// Charge the deterministic price partial replay would charge,
+			// not the observed Get — keeping the two modes' virtual
+			// timelines identical.
+			d = e.restoreCost
+		}
+		ctx.now += d
+		r.rt.tel.Add(telemetry.LayerFault, "restored_bytes", int64(len(data)))
+	}
 	if hasOutput {
-		size := int64(len(data))
+		size := e.size
 		if size == 0 {
 			// Regions have a one-byte floor; deliver the smallest region
 			// with an empty payload rather than starving successors.
@@ -282,14 +409,26 @@ func (r *run) restoreTaskAt(ctx *taskCtx, t *dataflow.Task, start time.Duration)
 		if err != nil {
 			return 0, nil, err
 		}
-		if len(data) > 0 {
-			f := out.WriteAsync(ctx.now, 0, data)
+		if e.size > 0 {
+			payload := data
+			if lazy {
+				// Placeholder of the snapshot's exact size: the write below
+				// prices identically to the eager path, and the real bytes
+				// arrive through lazyRestore.hydrate if ever needed.
+				payload = make([]byte, e.size)
+			}
+			f := out.WriteAsync(ctx.now, 0, payload)
 			now, err := f.Await(ctx.now)
 			if err != nil {
 				ctx.releaseAll()
 				return 0, nil, err
 			}
 			ctx.now = now
+			if lazy {
+				r.smu.Lock()
+				r.lazy[t.ID()] = &lazyRestore{size: e.size}
+				r.smu.Unlock()
+			}
 		}
 		if err := r.deliverOutput(ctx, t); err != nil {
 			ctx.releaseAll()

@@ -192,14 +192,14 @@ func TestRecoverySurvivesStorageNodeCrash(t *testing.T) {
 	// First attempt manually so we can crash a node before the retry; both
 	// attempts share one submission ID so the retry sees the snapshots.
 	id := ck.runID(job.Name())
-	_, err := rt.execute(job, ck, id)
+	_, err := rt.execute(job, ck, id, false)
 	if err == nil {
 		t.Fatal("first attempt should fail (flaky task)")
 	}
 	if err := fabric.Crash("ckmem0"); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := rt.execute(job, ck, id)
+	rep, err := rt.execute(job, ck, id, false)
 	if err != nil {
 		t.Fatalf("retry with crashed checkpoint node: %v", err)
 	}

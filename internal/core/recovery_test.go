@@ -324,7 +324,7 @@ func TestRestoreDeliversEmptyPayload(t *testing.T) {
 	if _, err := ck.snapshot(id, "produce", nil, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.execute(j, ck, id); err != nil {
+	if _, err := rt.execute(j, ck, id, false); err != nil {
 		t.Fatal(err)
 	}
 	if inputs := <-got; inputs != 1 {

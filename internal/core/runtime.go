@@ -164,6 +164,17 @@ type Report struct {
 	// concurrently on a shared worker pool (the Server's default) rather
 	// than job-after-job (ServerConfig.Sequential).
 	Overlapped bool
+	// SkippedTasks counts tasks this run completed from checkpoint
+	// snapshots without re-executing their bodies — the replay skip set of
+	// a recovery retry. Zero on a first attempt and outside recovery. The
+	// count is identical under full and partial replay: the modes differ
+	// only in when the real restore I/O happens, never in what is skipped.
+	SkippedTasks int
+	// ReplayedTasks counts tasks the final (successful) retry actually
+	// re-executed — everything not skipped. Zero when the job completed on
+	// its first attempt. SkippedTasks + ReplayedTasks == len(Tasks) on a
+	// recovered report.
+	ReplayedTasks int
 }
 
 // String renders the report as a fixed-width table.
@@ -241,6 +252,15 @@ type run struct {
 	peak   map[string]int64
 	ck     *Checkpointer // nil unless recovery drives the run
 	ckID   string        // unique per-submission snapshot namespace
+	// partial selects lazy restore I/O on replay: a replayed task's output
+	// payload is fetched from the store only when a re-executed consumer
+	// receives it as input, instead of eagerly when the task is replayed.
+	// Virtual time is identical either way (see restoreTaskAt).
+	partial bool
+	// lazy maps a replayed producer's task ID to its re-materialized
+	// output's restore state. Written by replay task goroutines, read by
+	// consuming task goroutines (both guarded by smu).
+	lazy   map[string]*lazyRestore
 	inject *fault.Injector
 }
 
@@ -248,13 +268,14 @@ type run struct {
 // report. On task failure every live region is released before returning
 // (no leaks), and the error identifies the failing task.
 func (rt *Runtime) Run(job *dataflow.Job) (*Report, error) {
-	return rt.execute(job, nil, "")
+	return rt.execute(job, nil, "", false)
 }
 
-// execute is the shared engine behind Run and RunWithRecovery. ckID is the
-// snapshot namespace of this submission (one per RunWithRecovery call, so
-// retries restore their own attempt's checkpoints and nobody else's).
-func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer, ckID string) (*Report, error) {
+// execute is the shared engine behind Run, RunWithRecovery, and
+// RunWithPartialReplay. ckID is the snapshot namespace of this submission
+// (one per recovery call, so retries replay their own attempt's checkpoints
+// and nobody else's); partial selects lazy restore I/O on replay.
+func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer, ckID string, partial bool) (*Report, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -271,7 +292,7 @@ func (rt *Runtime) execute(job *dataflow.Job, ck *Checkpointer, ckID string) (*R
 		return nil, err
 	}
 	r := rt.newRun(job, schedule, rt.topo.NewEpoch(), job.Name(), nil)
-	r.ck, r.ckID = ck, ckID
+	r.ck, r.ckID, r.partial = ck, ckID, partial
 	if failed, err := r.runWavefront(order, ranks, rt.workers, nil); err != nil {
 		if failed != "" {
 			return nil, fmt.Errorf("core: task %s: %w", failed, err)
@@ -301,6 +322,7 @@ func (rt *Runtime) newRun(job *dataflow.Job, schedule *sched.Schedule, epoch *to
 		finish:   make(map[string]time.Duration),
 		pending:  make(map[string]map[string]*region.Handle),
 		globals:  make(map[string]*globalEntry),
+		lazy:     make(map[string]*lazyRestore),
 		peak:     make(map[string]int64),
 		inject:   rt.inject,
 		report: &Report{
@@ -344,9 +366,22 @@ func (r *run) execTaskAt(w *wavefront, k int, t *dataflow.Task, view *topology.T
 		if h != nil {
 			delete(r.pending[t.ID()], p.ID())
 		}
+		lr := r.lazy[p.ID()]
 		r.smu.Unlock()
 		if h == nil {
 			continue
+		}
+		if lr != nil {
+			// The producer was replayed from its checkpoint under partial
+			// replay: its region carries a placeholder payload until a task
+			// that actually re-executes receives it as input. Fetch the real
+			// bytes now (wall-clock only — the restore's virtual price was
+			// charged at the replayed producer, identically in both modes).
+			if err := lr.hydrate(r, p.ID(), h); err != nil {
+				ctx.inputs = append(ctx.inputs, h) // keep it releasable
+				ctx.releaseAll()
+				return 0, nil, fmt.Errorf("restoring input from %s: %w", p.ID(), err)
+			}
 		}
 		h.Rebind(view, ctx.fence)
 		if cls, err := h.Class(); err == nil && cls == props.Transfer {
@@ -424,6 +459,14 @@ func (r *run) execTaskAt(w *wavefront, k int, t *dataflow.Task, view *topology.T
 	// even when a share release failed, so downstream accounting (makespan,
 	// spans, reports) stays consistent.
 	r.flushEvents(ctx)
+	if r.ck != nil && relErrs == nil {
+		// Fully successful: mark the snapshot warm-replayable so a later
+		// attempt can replay it at the deterministic recorded price (and,
+		// under partial replay, without eager restore I/O). A release error
+		// keeps the entry cold — the retry restores it eagerly, exactly as
+		// it always has.
+		r.ck.record(r.ckID, t.ID(), ctx.ckRestoreCost)
+	}
 	rep := &TaskReport{
 		Task: t.ID(), Compute: asg.Compute,
 		Start: start, Finish: ctx.now,

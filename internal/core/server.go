@@ -121,6 +121,15 @@ type RecoveryPolicy struct {
 	Backoff time.Duration
 	// BackoffCap bounds the exponential growth (default 8×Backoff).
 	BackoffCap time.Duration
+	// PartialReplay resumes a retried job from the failed task onward:
+	// tasks whose checkpoints survived with unchanged transitive inputs are
+	// completed from their replay records without re-execution, and their
+	// outputs are rebound from the store lazily — restore I/O is performed
+	// (and charged to real wall-clock) only when a replayed successor
+	// actually reads the region. Virtual-time accounting is identical to
+	// full replay: retried reports are byte-for-byte the same either way,
+	// only the real restore I/O and re-execution work are elided.
+	PartialReplay bool
 }
 
 // recoveryState is the resolved serving-side recovery machinery.
@@ -129,6 +138,7 @@ type recoveryState struct {
 	maxAttempts int
 	backoff     time.Duration
 	cap         time.Duration
+	partial     bool
 }
 
 // backoffWait is the virtual-time delay inserted before the retry that
@@ -266,6 +276,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			maxAttempts: maxAttempts,
 			backoff:     cfg.Recovery.Backoff,
 			cap:         cap,
+			partial:     cfg.Recovery.PartialReplay,
 		}
 	}
 	s := &Server{
@@ -523,6 +534,7 @@ func (s *Server) runBatch(batch []*jobTicket) {
 			// same-named jobs in flight never cross-restore or
 			// cross-Forget each other's checkpoints.
 			r.ck, r.ckID = s.rec.ck, s.rec.ck.runID(t.job.Name())
+			r.partial = s.rec.partial
 		}
 		lives = append(lives, &liveJob{t: t, r: r, order: order, ranks: ranks, attempt: 1})
 	}
@@ -569,6 +581,7 @@ func (s *Server) runBatchSequential(lives []*liveJob, epoch *topology.Epoch, cor
 				wait := backoffWait(s.rec, l.attempt)
 				nr := rt.newRun(l.t.job, l.r.schedule, epoch, l.r.ns, cores)
 				nr.ck, nr.ckID = l.r.ck, l.r.ckID
+				nr.partial = s.rec.partial
 				nr.base = l.r.base + wait
 				l.waits = append(l.waits, wait)
 				l.r = nr
@@ -669,6 +682,7 @@ func (s *Server) runBatchOverlapped(lives []*liveJob, epoch *topology.Epoch) {
 				wait := backoffWait(s.rec, l.attempt)
 				nr := rt.newRun(l.t.job, l.r.schedule, epoch, l.r.ns, l.r.cores)
 				nr.ck, nr.ckID = l.r.ck, l.r.ckID
+				nr.partial = s.rec.partial
 				nr.base = l.r.base + wait
 				l.waits = append(l.waits, wait)
 				l.r = nr
@@ -733,6 +747,7 @@ func (s *Server) complete(l *liveJob) {
 	span := "serve"
 	if l.attempt > 1 {
 		span = "serve-recovered"
+		l.r.report.ReplayedTasks = len(l.r.report.Tasks) - l.r.report.SkippedTasks
 		s.rt.tel.Add(telemetry.LayerRuntime, "server_recovered", 1)
 	}
 	s.rt.tel.Add(telemetry.LayerRuntime, "server_completed", 1)

@@ -42,6 +42,10 @@ type taskCtx struct {
 	// entries within the task.
 	events []memEvent
 	evseq  int
+	// ckRestoreCost is the snapshot Put price stashed by checkpointTask;
+	// on full completion it becomes the entry's deterministic replay price
+	// (Checkpointer.record).
+	ckRestoreCost time.Duration
 }
 
 // clock is the virtual-time view this task's allocations and accesses are

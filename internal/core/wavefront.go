@@ -380,6 +380,11 @@ func (w *wavefront) finalize() (failedTask string, err error) {
 	r.cleanup()
 	r.computePeak()
 	r.report.PeakDeviceBytes = r.peak
+	for k := range w.restored {
+		if w.restored[k] {
+			r.report.SkippedTasks++
+		}
+	}
 	for _, tr := range r.report.Tasks {
 		if tr.Finish > r.report.Makespan {
 			r.report.Makespan = tr.Finish

@@ -289,6 +289,36 @@ func (h *Handle) WriteAsync(now time.Duration, off int64, buf []byte) *Future {
 	return &Future{done: done, err: err}
 }
 
+// Hydrate writes raw bytes into the region backing without advancing any
+// virtual clock, running the coherence protocol, or taking a fence. It is
+// the re-materialization path for checkpoint replay: the write's virtual
+// cost was already accounted when the bytes were first produced (and is
+// re-charged to consumers as the recorded restore price), so pricing it
+// again — or fencing on a region that is already shared with its replayed
+// consumers — would make replayed virtual time diverge from the original
+// run. Task bodies must never call it; they go through WriteAt/WriteAsync.
+func (h *Handle) Hydrate(off int64, data []byte) error {
+	h.m.mu.Lock()
+	r, err := h.m.lookup(h)
+	if err != nil {
+		h.m.mu.Unlock()
+		return err
+	}
+	if err := checkRange(r, off, int64(len(data))); err != nil {
+		h.m.mu.Unlock()
+		return err
+	}
+	r.dataMu.Lock()
+	h.m.mu.Unlock()
+	defer r.dataMu.Unlock()
+	if r.sealed {
+		sealRange(h.m.secret, r.id, r.data, off, data)
+	} else {
+		copy(r.data[off:], data)
+	}
+	return nil
+}
+
 // Transfer moves exclusive ownership to the next task (Fig. 4's
 // "out becomes the new in"). If the receiving compute device can address
 // the region's current device within the region's requirements, the
