@@ -27,8 +27,14 @@ bench:
 # Short-mode smoke of the wavefront-executor benchmarks (wide-DAG speedup
 # curve + serving path), with machine-readable results for CI artifacts.
 # Each sub-benchmark also asserts the virtual makespan is identical across
-# pool sizes, so this doubles as a determinism gate.
+# pool sizes, so this doubles as a determinism gate. The committed
+# bench/BENCH_*_baseline.json captures are the before; the fresh run is the
+# after (previous local runs are kept as BENCH_*_before.json), and benchgate
+# fails the target when serve throughput regressed >10% vs the baseline
+# (override with BENCHGATE_TOLERANCE).
 bench-smoke:
+	@for f in BENCH_parallel.json BENCH_serve.json BENCH_recover.json; do \
+		if [ -f $$f ]; then cp $$f $${f%.json}_before.json; fi; done
 	$(GO) test -run XXX -bench 'BenchmarkWideDAGParallel|BenchmarkServeParallel' \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | head -20 || true
@@ -38,6 +44,7 @@ bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkRecoverPartial \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_recover.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_recover.json | head -20 || true
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_serve_baseline.json -current BENCH_serve.json
 
 # Fail if any exported identifier in the facade package lacks a doc comment.
 doccheck:

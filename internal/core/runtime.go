@@ -245,6 +245,11 @@ type run struct {
 	// pending maps consumer task → producer task → delivered handle.
 	pending map[string]map[string]*region.Handle
 	globals map[string]*globalEntry
+	// ranks maps task ID → deterministic topological rank for the current
+	// wavefront attempt (set by newWavefront). deliverOutput uses it to
+	// record consumer ranks on fan-out shares, which is what lets those
+	// regions fence per sharer instead of against the whole run.
+	ranks map[string]int
 	// events is the virtual memory ledger completed tasks journal into;
 	// computePeak sweeps it deterministically at run end (wavefront.go).
 	events []memEvent
@@ -352,7 +357,7 @@ func (r *run) execTaskAt(w *wavefront, k int, t *dataflow.Task, view *topology.T
 		view:    view,
 		rank:    k,
 	}
-	ctx.fence = func() error { return w.fence(k) }
+	ctx.fence = func(deps []int) error { return w.fence(k, deps) }
 	// Recovery fast path: a checkpointed task is restored, not re-run.
 	if w.restored[k] {
 		return r.restoreTaskAt(ctx, t, start)
@@ -383,7 +388,7 @@ func (r *run) execTaskAt(w *wavefront, k int, t *dataflow.Task, view *topology.T
 				return 0, nil, fmt.Errorf("restoring input from %s: %w", p.ID(), err)
 			}
 		}
-		h.Rebind(view, ctx.fence)
+		h.Rebind(view, k, ctx.fence)
 		if cls, err := h.Class(); err == nil && cls == props.Transfer {
 			fromDev, _ := h.DeviceID()
 			nh, done, err := h.Transfer(ctx.now, ctx.owner, asg.Compute)
@@ -509,7 +514,11 @@ func (r *run) deliverOutput(ctx *taskCtx, t *dataflow.Task) error {
 	default:
 		for _, s := range succs {
 			sAsg := r.schedule.Assignments[s.ID()]
-			sh, err := ctx.output.Share(region.Owner(r.ns+"/"+s.ID()+"/in"), sAsg.Compute)
+			// All fan-out shares are granted here, at producer completion —
+			// before any consumer can launch — so the region's sharer set is
+			// closed by construction and ShareRanked's per-sharer fencing is
+			// sound (see wavefront.fence).
+			sh, err := ctx.output.ShareRanked(region.Owner(r.ns+"/"+s.ID()+"/in"), sAsg.Compute, r.ranks[s.ID()])
 			if err != nil {
 				return fmt.Errorf("sharing output with %s: %w", s.ID(), err)
 			}

@@ -621,8 +621,10 @@ func (s *Server) runBatchOverlapped(lives []*liveJob, epoch *topology.Epoch) {
 	members := make(map[*wavefront]*liveJob, len(lives))
 	var active []*wavefront
 	for _, l := range lives {
-		w, failed, err := l.r.newWavefront(l.order, l.ranks, l.t.ctx.Err, seed.Clone())
+		sv := topology.GetTaskView(seed)
+		w, failed, err := l.r.newWavefront(l.order, l.ranks, l.t.ctx.Err, sv)
 		if err != nil {
+			topology.PutTaskView(sv)
 			l.r.cleanup()
 			s.forget(l.r)
 			s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), failed, err))
@@ -687,8 +689,10 @@ func (s *Server) runBatchOverlapped(lives []*liveJob, epoch *topology.Epoch) {
 				l.waits = append(l.waits, wait)
 				l.r = nr
 				l.attempt++
-				w2, failed2, err2 := nr.newWavefront(l.order, l.ranks, l.t.ctx.Err, seed.Clone())
+				sv := topology.GetTaskView(seed)
+				w2, failed2, err2 := nr.newWavefront(l.order, l.ranks, l.t.ctx.Err, sv)
 				if err2 != nil {
+					topology.PutTaskView(sv)
 					nr.cleanup()
 					s.forget(nr)
 					s.fail(l.t, fmt.Errorf("core: job %s task %s: %w", l.t.job.Name(), failed2, err2))
@@ -716,6 +720,7 @@ func (s *Server) runBatchOverlapped(lives []*liveJob, epoch *topology.Epoch) {
 		}
 	}
 	p.mu.Unlock()
+	topology.PutTaskView(seed)
 }
 
 // fail delivers an error outcome.

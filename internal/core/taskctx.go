@@ -36,7 +36,7 @@ type taskCtx struct {
 	// are installed by the dispatcher.
 	view  *topology.TaskView
 	rank  int
-	fence func() error
+	fence region.Fence
 	// events is the task's virtual memory-ledger journal, published to the
 	// run on successful completion (wavefront.go); evseq orders same-time
 	// entries within the task.
@@ -119,7 +119,7 @@ func (c *taskCtx) Scratch(name string, size int64) (*region.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h.SetFence(c.fence)
+	h.Rebind(c.clock(), c.rank, c.fence)
 	c.noteAlloc(h, size)
 	c.scratch = append(c.scratch, h)
 	c.noteRegion(name, h)
@@ -150,7 +150,7 @@ func (c *taskCtx) Output(size int64) (*region.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h.SetFence(c.fence)
+	h.Rebind(c.clock(), c.rank, c.fence)
 	c.noteAlloc(h, size)
 	c.output = h
 	c.noteRegion("out", h)
@@ -184,7 +184,9 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 		// creator (two concurrent creators are impossible: the higher rank
 		// blocks at its fence until the lower one finishes).
 		if c.fence != nil {
-			if err := c.fence(); err != nil {
+			// Full barrier (nil deps): any lower rank could be the
+			// deterministic creator, so all of them must retire first.
+			if err := c.fence(nil); err != nil {
 				return nil, err
 			}
 			c.run.smu.Lock()
@@ -240,7 +242,7 @@ func (c *taskCtx) Global(name string, class props.RegionClass, size int64) (*reg
 	}
 	// The share inherited the creator's clock view; rebind it to this
 	// task's own before any access is priced through it.
-	sh.Rebind(c.clock(), c.fence)
+	sh.Rebind(c.clock(), c.rank, c.fence)
 	c.noteShare(sh)
 	c.globalShares[name] = sh
 	c.noteRegion(name, sh)

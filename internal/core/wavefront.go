@@ -112,18 +112,6 @@ type memEvent struct {
 	bytes int64  // evAlloc: allocator block size
 }
 
-// claim is one granted virtual-core reservation.
-type claim struct {
-	rank  int
-	start time.Duration
-}
-
-// devState is the per-compute-device claim machinery.
-type devState struct {
-	queue []int         // ranks awaiting a core claim, ascending
-	held  map[int]claim // core index → in-flight claim
-}
-
 // wavePool arbitrates one bounded worker pool across one or more
 // concurrently executing wavefronts — one member per batch submission when
 // the Server overlaps jobs, exactly one for Runtime.Run and RunAll. Members
@@ -211,11 +199,12 @@ type wavefront struct {
 	rank     map[string]int
 	devOf    []string // rank → assigned compute device
 	devOrder []string // deterministic device iteration order
-	devs     map[string]*devState
+	devs     map[string]*sched.ClaimLedger
 
 	state      []taskState
-	unmet      []int                // remaining predecessor count
-	readyAt    []time.Duration      // max predecessor finish (virtual)
+	unmet      []int           // remaining predecessor count
+	ready      []bool          // rank is tsReady (the claim ledger's grant mask)
+	readyAt    []time.Duration // max predecessor finish (virtual)
 	views      []*topology.TaskView // final clock views of done tasks
 	finish     []time.Duration
 	restored   []bool // checkpointed in a prior attempt: restore, don't run
@@ -279,8 +268,8 @@ func (r *run) newWavefront(order []*dataflow.Task, ranks map[string]int, cancel 
 	w := &wavefront{
 		r: r, cancel: cancel, seed: seed,
 		order: order, rank: ranks,
-		devOf: make([]string, n), devs: make(map[string]*devState),
-		state: make([]taskState, n), unmet: make([]int, n),
+		devOf: make([]string, n), devs: make(map[string]*sched.ClaimLedger),
+		state: make([]taskState, n), unmet: make([]int, n), ready: make([]bool, n),
 		readyAt: make([]time.Duration, n), views: make([]*topology.TaskView, n),
 		finish: make([]time.Duration, n), restored: make([]bool, n),
 		reported:  make([]bool, n),
@@ -291,19 +280,21 @@ func (r *run) newWavefront(order []*dataflow.Task, ranks map[string]int, cancel 
 	for dev, cs := range r.cores {
 		w.baseCores[dev] = append([]time.Duration(nil), cs...)
 	}
+	r.ranks = ranks
 	for k, t := range order {
 		dev := r.schedule.Assignments[t.ID()].Compute
 		w.devOf[k] = dev
 		ds := w.devs[dev]
 		if ds == nil {
-			ds = &devState{held: make(map[int]claim)}
+			ds = sched.NewClaimLedger()
 			w.devs[dev] = ds
 			w.devOrder = append(w.devOrder, dev)
 		}
-		ds.queue = append(ds.queue, k) // ascending: k iterates in rank order
+		ds.Enqueue(k) // ascending: k iterates in rank order
 		w.unmet[k] = len(t.Preds())
 		if w.unmet[k] == 0 {
 			w.state[k] = tsReady
+			w.ready[k] = true
 		}
 	}
 	sort.Strings(w.devOrder)
@@ -325,6 +316,7 @@ func (r *run) newWavefront(order []*dataflow.Task, ranks map[string]int, cancel 
 			if err := r.inject.Step(r.ns, t.ID()); err != nil {
 				w.failRank, w.failErr, w.failTask = k, err, t.ID()
 				w.state[k] = tsFailed
+				w.ready[k] = false
 				break
 			}
 		}
@@ -350,6 +342,7 @@ func (w *wavefront) finalize() (failedTask string, err error) {
 	r := w.r
 	if w.canceled != nil {
 		r.cleanup()
+		w.recycleViews()
 		return "", w.canceled
 	}
 	if w.failRank >= 0 {
@@ -369,6 +362,7 @@ func (w *wavefront) finalize() (failedTask string, err error) {
 			}
 		}
 		r.cleanup()
+		w.recycleViews()
 		return w.failTask, w.failErr
 	}
 
@@ -378,6 +372,7 @@ func (w *wavefront) finalize() (failedTask string, err error) {
 	// epoch, so for them this is inert bookkeeping).
 	r.epoch.AbsorbViews(w.views...)
 	r.cleanup()
+	w.recycleViews()
 	r.computePeak()
 	r.report.PeakDeviceBytes = r.peak
 	for k := range w.restored {
@@ -391,6 +386,19 @@ func (w *wavefront) finalize() (failedTask string, err error) {
 		}
 	}
 	return "", nil
+}
+
+// recycleViews returns the run's task views and seed snapshot to the pool.
+// Safe only after cleanup: every region the run held has been released, so
+// stale handles fail their manager lookup before their clock view — possibly
+// one of these, now recycled — would be consulted.
+func (w *wavefront) recycleViews() {
+	for k, v := range w.views {
+		topology.PutTaskView(v) // nil-safe: failed/skipped ranks have no view
+		w.views[k] = nil
+	}
+	topology.PutTaskView(w.seed)
+	w.seed = nil
 }
 
 // drainedLocked reports whether the wavefront has nothing left to do.
@@ -430,43 +438,23 @@ func (w *wavefront) advance() {
 	if w.canceled != nil {
 		return
 	}
+	limit := len(w.order)
+	if w.failRank >= 0 && w.failRank < limit {
+		limit = w.failRank // nothing at or above the failure rank dispatches
+	}
 	for {
 		progress := false
 		for _, dev := range w.devOrder {
 			ds := w.devs[dev]
-			cores := w.r.cores[dev]
-			for len(ds.queue) > 0 {
-				k := ds.queue[0]
-				if w.failRank >= 0 && k >= w.failRank {
-					break // nothing at or above the failure rank dispatches
-				}
-				if w.state[k] != tsReady {
-					break // head not DAG-ready: later ranks must wait their turn
-				}
-				cand, ok := freeCore(cores, ds.held)
-				if !ok {
-					break // every core is in flight
-				}
-				// Grant only when no in-flight lower rank can still lower
-				// this core's clock below what we see now: the free core's
-				// availability must not exceed the earliest in-flight
-				// claim's start. (An in-flight task finishes no earlier
-				// than it starts, so the chosen clock value is final.)
-				if s, held := minHeldStart(ds.held); held && cores[cand] > s {
-					break
-				}
-				start := w.readyAt[k]
-				if cores[cand] > start {
-					start = cores[cand]
-				}
-				if w.r.base > start {
-					start = w.r.base
-				}
-				ds.held[cand] = claim{rank: k, start: start}
-				w.claimCore[k], w.claimStart[k] = cand, start
-				ds.queue = ds.queue[1:]
-				w.state[k] = tsClaimed
-				w.dispatch = insertRank(w.dispatch, k)
+			// The ledger grants the whole run of consecutive dispatchable
+			// head-of-queue ranks in one pass (sched.GrantBatch), so a
+			// completion that unblocks several ranks costs one critical
+			// section instead of one wakeup each.
+			for _, g := range ds.GrantBatch(w.r.cores[dev], w.r.base, limit, w.ready, w.readyAt) {
+				w.claimCore[g.Rank], w.claimStart[g.Rank] = g.Core, g.Start
+				w.state[g.Rank] = tsClaimed
+				w.ready[g.Rank] = false
+				w.dispatch = insertRank(w.dispatch, g.Rank)
 				progress = true
 			}
 		}
@@ -479,7 +467,7 @@ func (w *wavefront) advance() {
 					keep = append(keep, k)
 					continue
 				}
-				delete(w.devs[w.devOf[k]].held, w.claimCore[k])
+				w.devs[w.devOf[k]].Release(w.claimCore[k])
 				w.state[k] = tsSkipped
 			}
 			w.dispatch = keep
@@ -488,33 +476,6 @@ func (w *wavefront) advance() {
 			return
 		}
 	}
-}
-
-// freeCore returns the earliest-available core not held by an in-flight
-// claim (lowest index on ties — the same tie-break sequential argmin used).
-func freeCore(cores []time.Duration, held map[int]claim) (int, bool) {
-	best, found := 0, false
-	for i := range cores {
-		if _, busy := held[i]; busy {
-			continue
-		}
-		if !found || cores[i] < cores[best] {
-			best, found = i, true
-		}
-	}
-	return best, found
-}
-
-// minHeldStart returns the earliest start among in-flight claims.
-func minHeldStart(held map[int]claim) (time.Duration, bool) {
-	var min time.Duration
-	found := false
-	for _, c := range held {
-		if !found || c.start < min {
-			min, found = c.start, true
-		}
-	}
-	return min, found
 }
 
 // insertRank inserts k into an ascending rank slice.
@@ -531,7 +492,7 @@ func insertRank(s []int, k int) []int {
 // are published under the pool lock before the successor launches, so
 // reading them here without the lock is race-free.
 func (w *wavefront) seedView(k int) *topology.TaskView {
-	v := w.seed.Clone()
+	v := topology.GetTaskView(w.seed)
 	for _, p := range w.order[k].Preds() {
 		v.Merge(w.views[w.rank[p.ID()]])
 	}
@@ -550,7 +511,7 @@ func (w *wavefront) runTask(k int) {
 	w.inflight--
 	p.slots++
 	dev := w.devOf[k]
-	delete(w.devs[dev].held, w.claimCore[k])
+	w.devs[dev].Release(w.claimCore[k])
 	if rep != nil {
 		// The task ran to completion (possibly with a release error):
 		// its core clock and report are recorded either way, exactly like
@@ -566,6 +527,9 @@ func (w *wavefront) runTask(k int) {
 		if !errors.Is(err, errWavefrontAborted) && (w.failRank < 0 || k < w.failRank) {
 			w.failRank, w.failErr, w.failTask = k, err, t.ID()
 		}
+		// The failed task's view was never published to w.views, so nothing
+		// merges from it or prices through it again — recycle it now.
+		topology.PutTaskView(view)
 	} else {
 		w.state[k] = tsDone
 		w.done++
@@ -578,6 +542,7 @@ func (w *wavefront) runTask(k int) {
 			}
 			if w.unmet[sk] == 0 && w.state[sk] == tsWaiting {
 				w.state[sk] = tsReady
+				w.ready[sk] = true
 			}
 		}
 		for w.frontier < len(w.order) && w.state[w.frontier] == tsDone {
@@ -589,23 +554,29 @@ func (w *wavefront) runTask(k int) {
 	p.mu.Unlock()
 }
 
-// fence blocks the calling task (rank k) until every lower rank of its own
-// wavefront has completed — the rank-order barrier installed on
-// coherence-priced accesses and global first-use. The barrier is strictly
-// per member: batch mates sharing the pool never fence against each other.
-// The waiting task releases its worker slot so the pool cannot starve; it
-// aborts if a rank below it fails (its own outcome would be unobservable
-// sequentially) or the run is canceled.
-func (w *wavefront) fence(k int) error {
+// fence blocks the calling task (rank k) until the ordering its access
+// needs is established — the barrier installed on coherence-priced accesses
+// and global first-use. deps == nil demands the full rank barrier (every
+// rank below k completed): the conservative form used for open sharing and
+// first-use creation, where the set of ordering-relevant parties is
+// unknowable. A non-nil deps lists the region's happens-before sharer set
+// (region.Handle.fenceDeps); the fence then waits only for those ranks, so
+// a region whose sharing phase has passed stops serializing the whole run.
+// The barrier is strictly per member: batch mates sharing the pool never
+// fence against each other. The waiting task releases its worker slot so
+// the pool cannot starve; it aborts if a rank below it fails (its own
+// outcome would be unobservable sequentially — this also covers deps that
+// failed or were revoked and will never retire) or the run is canceled.
+func (w *wavefront) fence(k int, deps []int) error {
 	p := w.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if w.frontier >= k {
+	if w.fenceOpenLocked(k, deps) {
 		return nil
 	}
 	p.slots++
 	w.pump()
-	for w.frontier < k {
+	for !w.fenceOpenLocked(k, deps) {
 		if w.failRank >= 0 && w.failRank < k {
 			p.slots--
 			return errWavefrontAborted
@@ -618,6 +589,25 @@ func (w *wavefront) fence(k int) error {
 	}
 	p.slots--
 	return nil
+}
+
+// fenceOpenLocked reports whether rank k's fence requirement already holds:
+// every rank below k retired (the frontier passed k), or — when deps lists
+// the access's happens-before set — every listed rank below k completed.
+// Caller holds the pool lock.
+func (w *wavefront) fenceOpenLocked(k int, deps []int) bool {
+	if w.frontier >= k {
+		return true
+	}
+	if deps == nil {
+		return false
+	}
+	for _, d := range deps {
+		if d < k && w.state[d] != tsDone {
+			return false
+		}
+	}
+	return true
 }
 
 // computePeak sweeps the run's virtual memory ledger in deterministic

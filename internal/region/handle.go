@@ -34,8 +34,26 @@ type Handle struct {
 	// a rank-order barrier here so directory traffic happens in schedule
 	// order regardless of wall-clock interleaving. A fence error aborts the
 	// access.
-	fence func() error
+	fence Fence
+	// rank is the deterministic schedule rank of the task accessing through
+	// this handle, or -1 when unranked (sequential mode, app-level handles).
+	// A ranked access on a closed-sharing region fences only against the
+	// region's lower-rank sharers instead of the whole run.
+	rank int
+	// deps is the reusable buffer fenceDeps filters sharer ranks into, so
+	// the per-access dependency list costs zero allocations. Owned by the
+	// task goroutine currently bound to the handle.
+	deps []int
 }
+
+// Fence is the pre-access barrier the runtime installs on handles whose
+// accesses may run the coherence protocol. deps, when non-nil, lists the
+// task ranks the access must happen after — the region's lower-rank sharer
+// set; the fence returns once all of them have retired. A nil deps demands
+// the full rank barrier (every lower rank retired): the conservative form
+// used for open sharing, where future joiners are unknowable. An empty
+// non-nil deps is an established happens-before — no waiting at all.
+type Fence func(deps []int) error
 
 // SetClock rebinds the virtual-time view accesses through this handle are
 // priced against. The runtime calls it at task handoff points (never
@@ -44,14 +62,16 @@ func (h *Handle) SetClock(clk topology.VClock) { h.clock = clk }
 
 // SetFence installs the pre-access barrier for coherence-priced accesses.
 // Like SetClock, it is only called at handoff points.
-func (h *Handle) SetFence(f func() error) { h.fence = f }
+func (h *Handle) SetFence(f Fence) { h.fence = f }
 
-// Rebind installs clock view and fence together — the runtime's task-
-// boundary handoff. A handle crossing into a task must get both from that
-// task (its causal view, its rank fence); rebinding them atomically at one
-// call site keeps the pair from drifting apart as handoff points multiply.
-func (h *Handle) Rebind(clk topology.VClock, f func() error) {
+// Rebind installs clock view, task rank, and fence together — the runtime's
+// task-boundary handoff. A handle crossing into a task must get all three
+// from that task (its causal view, its schedule rank, its rank fence);
+// rebinding them atomically at one call site keeps the triple from drifting
+// apart as handoff points multiply.
+func (h *Handle) Rebind(clk topology.VClock, rank int, f Fence) {
 	h.clock = clk
+	h.rank = rank
 	h.fence = f
 }
 
@@ -120,9 +140,15 @@ func (m *Manager) coherenceCost(r *Region, computeID string, off, n int64, write
 	if !r.everShared || r.req.Coherent != props.Require {
 		return 0 // exclusive ownership needs no protocol (§2.2)
 	}
-	caps, ok := m.topo.EffectiveCaps(computeID, r.device.ID)
-	if !ok {
-		return 0
+	// Each protocol action costs one traversal to the region's home device.
+	// A failed caps lookup (disconnected topology) must not make the
+	// protocol silently free: count the miss and charge the pessimistic
+	// manager-wide default instead.
+	latency := m.missLatency
+	if caps, ok := m.topo.EffectiveCaps(computeID, r.device.ID); ok {
+		latency = caps.Latency
+	} else {
+		m.reg.Add(telemetry.LayerCoherence, "topology_miss", 1)
 	}
 	const lineSize = 64
 	first := off / lineSize
@@ -139,8 +165,28 @@ func (m *Manager) coherenceCost(r *Region, computeID string, off, n int64, write
 	m.reg.Add(telemetry.LayerCoherence, "invalidations", int64(acts.Invalidations))
 	m.reg.Add(telemetry.LayerCoherence, "writebacks", int64(acts.Writebacks))
 	m.reg.Add(telemetry.LayerCoherence, "fetches", int64(acts.Fetches))
-	// Each protocol action costs one traversal to the region's home device.
-	return time.Duration(acts.Total()) * caps.Latency
+	return time.Duration(acts.Total()) * latency
+}
+
+// fenceDeps decides what the pre-access fence must wait for: nil demands
+// the full rank barrier (open sharing, or an unranked handle that cannot
+// prove anything about ordering); otherwise the region's sharer ranks below
+// the accessor's own — returned in the handle's reusable buffer, non-nil
+// even when empty. Caller holds m.mu.
+func (h *Handle) fenceDeps(r *Region) []int {
+	if r.openShared || h.rank < 0 {
+		return nil
+	}
+	if h.deps == nil {
+		h.deps = make([]int, 0, 4)
+	}
+	h.deps = h.deps[:0]
+	for _, s := range r.sharers {
+		if s < h.rank {
+			h.deps = append(h.deps, s)
+		}
+	}
+	return h.deps
 }
 
 // access is the common sync data path. It moves real bytes between the
@@ -148,30 +194,29 @@ func (m *Manager) coherenceCost(r *Region, computeID string, off, n int64, write
 // time. The payload copy runs under the region's own dataMu — outside the
 // manager lock — so independent tasks' memcpys proceed in parallel.
 func (h *Handle) access(now time.Duration, off int64, buf []byte, write bool, pat memsim.Pattern) (time.Duration, error) {
-	if h.fence != nil {
-		h.m.mu.Lock()
-		r, err := h.m.lookup(h)
-		if err != nil {
-			h.m.mu.Unlock()
-			return now, err
-		}
-		// Fence exactly when coherenceCost will consult the directory: the
-		// sticky everShared bit flips before any sharing consumer's handle
-		// exists, so reading it here is race-free and never-shared regions
-		// skip the barrier entirely.
-		fenced := r.everShared && r.req.Coherent == props.Require
-		h.m.mu.Unlock()
-		if fenced {
-			if err := h.fence(); err != nil {
-				return now, err
-			}
-		}
-	}
 	h.m.mu.Lock()
 	r, err := h.m.lookup(h)
 	if err != nil {
 		h.m.mu.Unlock()
 		return now, err
+	}
+	// Fence exactly when coherenceCost will consult the directory: the
+	// everShared bit flips before any sharing consumer's handle exists, so
+	// reading it here is race-free and never-shared regions skip the barrier
+	// entirely — without a second lock acquisition on the hot path. Fencing
+	// drops the lock (the fence blocks on other tasks, which need it), so
+	// the region is re-resolved afterwards.
+	if h.fence != nil && r.everShared && r.req.Coherent == props.Require {
+		deps := h.fenceDeps(r)
+		h.m.mu.Unlock()
+		if err := h.fence(deps); err != nil {
+			return now, err
+		}
+		h.m.mu.Lock()
+		if r, err = h.m.lookup(h); err != nil {
+			h.m.mu.Unlock()
+			return now, err
+		}
 	}
 	n := int64(len(buf))
 	if err := checkRange(r, off, n); err != nil {
@@ -353,7 +398,7 @@ func (h *Handle) Transfer(now time.Duration, to Owner, toCompute string) (*Handl
 		}
 	}
 	r.gen++ // invalidate the source handle (move semantics)
-	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, clock: h.clock, fence: h.fence}
+	nh := &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, clock: h.clock, fence: h.fence, rank: h.rank}
 	delete(r.owners, h.owner)
 	r.owners[to] = toCompute
 	if zeroCopy {
@@ -442,7 +487,27 @@ func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.D
 
 // Share grants an additional concurrent owner (shared ownership, §2.2).
 // The region class must allow sharing; Private Scratch never does.
+//
+// Share is the *open* sharing path: nothing bounds who may join later, so
+// the region permanently falls back to the full rank barrier on fenced
+// accesses. The runtime's output fan-out uses ShareRanked instead, which
+// keeps the sharer set closed and the fence narrow.
 func (h *Handle) Share(to Owner, toCompute string) (*Handle, error) {
+	return h.share(to, toCompute, -1, true)
+}
+
+// ShareRanked grants an additional concurrent owner whose deterministic
+// schedule rank is known — the runtime's producer→consumers output fan-out,
+// where every share is granted at producer completion, before any consumer
+// can launch. Because that closes the sharer set before the first fenced
+// access, accesses need only fence against the recorded lower-rank sharers
+// rather than the whole run. Both the producer's rank (this handle's) and
+// the consumer's are recorded.
+func (h *Handle) ShareRanked(to Owner, toCompute string, rank int) (*Handle, error) {
+	return h.share(to, toCompute, rank, false)
+}
+
+func (h *Handle) share(to Owner, toCompute string, rank int, open bool) (*Handle, error) {
 	h.m.mu.Lock()
 	defer h.m.mu.Unlock()
 	r, err := h.m.lookup(h)
@@ -463,8 +528,32 @@ func (h *Handle) Share(to Owner, toCompute string) (*Handle, error) {
 	}
 	r.owners[to] = toCompute
 	r.everShared = true
+	if open {
+		r.openShared = true
+	} else {
+		r.addSharer(h.rank)
+		r.addSharer(rank)
+	}
 	h.m.reg.Add(telemetry.LayerRegion, "shares", 1)
-	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, clock: h.clock, fence: h.fence}, nil
+	return &Handle{m: h.m, id: r.id, gen: r.gen, owner: to, compute: toCompute, clock: h.clock, fence: h.fence, rank: rank}, nil
+}
+
+// addSharer inserts a rank into the region's ascending sharer set, ignoring
+// duplicates and unranked (-1) parties. Caller holds m.mu.
+func (r *Region) addSharer(rank int) {
+	if rank < 0 {
+		return
+	}
+	i := 0
+	for i < len(r.sharers) && r.sharers[i] < rank {
+		i++
+	}
+	if i < len(r.sharers) && r.sharers[i] == rank {
+		return
+	}
+	r.sharers = append(r.sharers, 0)
+	copy(r.sharers[i+1:], r.sharers[i:])
+	r.sharers[i] = rank
 }
 
 // Release drops this owner's claim; the region is freed when the last owner

@@ -124,6 +124,21 @@ type Region struct {
 	// execution. (Realistic too: the directory still tracks the lines until
 	// they are dropped.)
 	everShared bool
+	// sharers is the happens-before sharer set: the deterministic task
+	// ranks that were ever granted ownership through the rank-aware share
+	// path (ShareRanked — the runtime's output fan-out). An access through
+	// a ranked handle fences only against the *lower* ranks in this set
+	// instead of every lower rank of the run, so a region whose sharing
+	// phase has passed stops paying the global barrier. Kept ascending;
+	// complete before any sharing consumer can access, because the runtime
+	// grants all fan-out shares at producer completion — which
+	// happens-before every consumer launch.
+	sharers []int
+	// openShared marks sharing through the rank-blind path (Handle.Share:
+	// job globals joined mid-execution, user-level sharing). Future joiners
+	// with lower ranks are unknowable there, so fencing falls back to the
+	// full rank barrier whenever it is set.
+	openShared bool
 	// dataMu serializes the real byte copies against data (and the sealed
 	// flag governing them), letting the payload memcpy of concurrent tasks
 	// proceed outside the manager lock. Lock order: m.mu before dataMu;
@@ -143,7 +158,15 @@ type Manager struct {
 	nextID  ID
 	regions map[ID]*Region
 	buddies map[string]*allocator.Buddy
-	secret  [32]byte // root key material for confidential regions
+	backing map[int64][][]byte // block size → recycled zeroed data backings
+	secret  [32]byte           // root key material for confidential regions
+
+	// missLatency prices a coherence protocol action when the effective-caps
+	// lookup for the accessing compute fails (disconnected topology). The
+	// protocol must never be silently free, so the charge defaults to the
+	// slowest memory device's latency — pessimistic but deterministic.
+	// Immutable after NewManager.
+	missLatency time.Duration
 }
 
 // Config assembles a Manager.
@@ -172,9 +195,42 @@ func NewManager(cfg Config) (*Manager, error) {
 		reg:     cfg.Telemetry,
 		regions: make(map[ID]*Region),
 		buddies: make(map[string]*allocator.Buddy),
+		backing: make(map[int64][][]byte),
+	}
+	m.missLatency = time.Microsecond
+	for _, dev := range cfg.Topology.Memories() {
+		if dev.Latency > m.missLatency {
+			m.missLatency = dev.Latency
+		}
 	}
 	copy(m.secret[:], "repro/disagg-region-root-key-v1!")
 	return m, nil
+}
+
+// backingClassCap bounds each block-size class of the backing free list, so
+// a burst of large regions can't pin their memory forever.
+const backingClassCap = 16
+
+// getBacking returns a zeroed backing slice of length size, reusing a
+// recycled buffer of the same buddy block class when one is available —
+// region churn in serving batches otherwise reallocates identical backings
+// every job. Caller holds m.mu.
+func (m *Manager) getBacking(block, size int64) []byte {
+	if list := m.backing[block]; len(list) > 0 {
+		buf := list[len(list)-1]
+		m.backing[block] = list[:len(list)-1]
+		clear(buf) // preserve the fresh-allocation zero-fill contract
+		return buf[:size]
+	}
+	return make([]byte, size, block)
+}
+
+// putBacking recycles a freed region's backing. Caller holds m.mu.
+func (m *Manager) putBacking(block int64, buf []byte) {
+	if int64(cap(buf)) < block || len(m.backing[block]) >= backingClassCap {
+		return
+	}
+	m.backing[block] = append(m.backing[block], buf[:block])
 }
 
 // Topology returns the hardware graph the manager places onto.
@@ -282,14 +338,14 @@ func (m *Manager) Alloc(spec Spec) (*Handle, error) {
 	r := &Region{
 		id: id, name: spec.Name, class: spec.Class, req: req,
 		device: dev, offset: off, size: spec.Size, blockSize: block,
-		data:   make([]byte, spec.Size),
+		data:   m.getBacking(block, spec.Size),
 		sealed: req.Confidential && caps.Remote,
 		owners: map[Owner]string{spec.Owner: spec.Compute},
 	}
 	m.regions[id] = r
 	m.reg.Add(telemetry.LayerRegion, "allocs", 1)
 	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", block)
-	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute, clock: spec.Clock}, nil
+	return &Handle{m: m, id: id, gen: r.gen, owner: spec.Owner, compute: spec.Compute, clock: spec.Clock, rank: -1}, nil
 }
 
 // accessTime routes a virtual memory access through the handle's clock when
@@ -328,8 +384,10 @@ func (m *Manager) free(r *Region) {
 	r.device.Release(r.blockSize)
 	m.dir.DropRegion(uint64(r.id))
 	r.dataMu.Lock() // wait out any in-flight payload copy
+	buf := r.data
 	r.data = nil
 	r.dataMu.Unlock()
+	m.putBacking(r.blockSize, buf)
 	delete(m.regions, r.id)
 	m.reg.Add(telemetry.LayerRegion, "frees", 1)
 	m.reg.Add(telemetry.LayerRegion, "bytes_allocated", -r.blockSize)

@@ -146,6 +146,40 @@ type TaskView struct {
 	busy map[string]time.Duration
 }
 
+// viewPool recycles TaskViews (and, most importantly, their busy maps): a
+// wavefront allocates one view per task, and on short serving batches the
+// per-task map churn was a measurable slice of the determinism tax. Views
+// enter the pool through PutTaskView once their run has absorbed them and
+// released every region that could price through them.
+var viewPool = sync.Pool{
+	New: func() any { return &TaskView{busy: make(map[string]time.Duration, 8)} },
+}
+
+// GetTaskView returns a pooled view initialized as a copy of src (same
+// topology, same queue state) — the pooled equivalent of src.Clone(). The
+// caller owns the view until it hands it to PutTaskView.
+func GetTaskView(src *TaskView) *TaskView {
+	v := viewPool.Get().(*TaskView)
+	v.topo = src.topo
+	clear(v.busy)
+	for id, t := range src.busy {
+		v.busy[id] = t
+	}
+	return v
+}
+
+// PutTaskView recycles a view. The caller must guarantee nothing can price
+// an access through it anymore — in the wavefront executor that holds after
+// finalize: the run's regions are released first, and every handle lookup
+// fails before its clock view would be consulted. Nil is a no-op, so callers
+// can put back sparse view tables without filtering.
+func PutTaskView(v *TaskView) {
+	if v == nil {
+		return
+	}
+	viewPool.Put(v)
+}
+
 // NewTaskView starts an empty view: every queue drained at t=0.
 func (t *Topology) NewTaskView() *TaskView {
 	return &TaskView{topo: t, busy: make(map[string]time.Duration)}
