@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke doccheck serve serve-recover clean
+.PHONY: all build vet test race bench bench-smoke loadgen-smoke doccheck serve serve-recover clean
 
 all: build vet test race doccheck
 
@@ -32,7 +32,7 @@ bench:
 # after (previous local runs are kept as BENCH_*_before.json), and benchgate
 # fails the target when serve throughput regressed >10% vs the baseline
 # (override with BENCHGATE_TOLERANCE).
-bench-smoke:
+bench-smoke: loadgen-smoke
 	@for f in BENCH_parallel.json BENCH_serve.json BENCH_recover.json; do \
 		if [ -f $$f ]; then cp $$f $${f%.json}_before.json; fi; done
 	$(GO) test -run XXX -bench 'BenchmarkWideDAGParallel|BenchmarkServeParallel' \
@@ -45,6 +45,17 @@ bench-smoke:
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_recover.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_recover.json | head -20 || true
 	$(GO) run ./cmd/benchgate -baseline bench/BENCH_serve_baseline.json -current BENCH_serve.json
+
+# Seconds-scale fixed-seed open-loop serving smoke: 4k submissions against
+# the SLO admission gate, replayed twice — the run itself fails if the two
+# replays' admission decisions diverge. The gated metrics (admitted,
+# slo-met) are deterministic counts for the fixed seed, so benchgate runs
+# at zero tolerance and the gate is immune to machine speed.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -n 4000 -seed 42 -rho 1.5 -deadline 40us -repeat 2 \
+		-bench-out BENCH_loadgen.json
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_loadgen_baseline.json \
+		-current BENCH_loadgen.json -metrics admitted,slo-met -tolerance 0
 
 # Fail if any exported identifier in the facade package lacks a doc comment.
 doccheck:

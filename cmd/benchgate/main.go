@@ -13,6 +13,10 @@
 // requires current ≥ (1 - tolerance) × baseline for each. Benchmarks
 // present in only one file are reported but never fail the gate, so the
 // baseline does not have to be regenerated when a benchmark is added.
+// Every metric that is skipped (present in the baseline but missing from
+// the current capture, or non-positive in the baseline) is logged, and if
+// the run ends with zero metrics actually compared the gate fails: a
+// vacuous comparison must not read as a pass.
 //
 // Usage:
 //
@@ -124,6 +128,7 @@ func main() {
 	}
 
 	failed := false
+	compared := 0
 	for name, bm := range base {
 		cm, ok := cur[name]
 		if !ok {
@@ -132,9 +137,18 @@ func main() {
 		}
 		for unit, bv := range bm {
 			cv, ok := cm[unit]
-			if !ok || bv <= 0 {
+			if !ok {
+				// A metric the baseline has but the current capture lost is
+				// exactly how a broken benchmark slips past the gate —
+				// always say so.
+				fmt.Printf("benchgate: %s: %s missing from current capture — skipped\n", name, unit)
 				continue
 			}
+			if bv <= 0 {
+				fmt.Printf("benchgate: %s: non-positive baseline %.4g %s — skipped\n", name, bv, unit)
+				continue
+			}
+			compared++
 			floor := bv * (1 - *tolerance)
 			verdict := "ok"
 			if cv < floor {
@@ -149,6 +163,14 @@ func main() {
 		if _, ok := base[name]; !ok {
 			fmt.Printf("benchgate: %s: new benchmark, no baseline (ignored)\n", name)
 		}
+	}
+	if compared == 0 {
+		// A gate that compared nothing passed nothing: renamed benchmarks,
+		// a bad -metrics list, or an empty capture must fail loudly, not
+		// report success.
+		fmt.Fprintf(os.Stderr, "benchgate: no metric compared between %s and %s — gate is vacuous\n",
+			*baseline, *current)
+		os.Exit(1)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: throughput regressed more than %.0f%% vs %s\n",

@@ -1,0 +1,165 @@
+// Command loadgen replays an open-loop, production-shaped traffic stream
+// against the admission-controlled serving engine and reports the
+// application-visible latency distributions (p50/p99/p999) plus the
+// admission ledger. It is the CLI face of internal/loadgen.
+//
+// The run is seed-deterministic end to end: arrivals, job mix, deadlines,
+// and therefore every SLO admission decision. -repeat N replays the same
+// configuration against N fresh serving stacks and fails (exit 1) if any
+// replay's admission signature or ledger diverges — the reproducibility
+// self-check CI runs in `make loadgen-smoke`.
+//
+// Outputs: a human summary on stdout, the full loadgen.Result as JSON via
+// -out, and a benchgate-compatible test2json stream via -bench-out whose
+// metrics (admitted, slo-met) are fixed-seed deterministic counts, so the
+// smoke gate is immune to machine speed.
+//
+// Examples:
+//
+//	loadgen -n 100000 -process poisson -rho 1.3 -deadline 50us
+//	loadgen -n 100000 -process bursty -burst 32 -diurnal 0.5 -rho 1.3 -deadline 50us
+//	loadgen -n 4000 -rho 1.5 -deadline 40us -repeat 2 -bench-out BENCH_loadgen.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100000, "submissions per run")
+		seed     = flag.Int64("seed", 42, "seed for arrivals, mix, and (hence) admission decisions")
+		process  = flag.String("process", "poisson", "arrival process: poisson | bursty")
+		rate     = flag.Float64("rate", 0, "arrival rate, jobs per virtual second (0: derive from -rho)")
+		rho      = flag.Float64("rho", 1.3, "target utilization when -rate is 0 (>1 overloads)")
+		burst    = flag.Int("burst", 16, "burst width for -process bursty")
+		diurnal  = flag.Float64("diurnal", 0, "diurnal rate-modulation amplitude in [0,1)")
+		period   = flag.Duration("period", 0, "diurnal period in virtual time (0: one cycle per run)")
+		deadline = flag.Duration("deadline", 50*time.Microsecond, "per-job completion deadline in virtual time (0: no SLO gating)")
+		warmup   = flag.Int("warmup", 0, "submissions excluded from latency stats")
+		pace     = flag.Float64("pace", 0, "wall pacing: virtual seconds per wall second (0: unpaced)")
+		realFrac = flag.Float64("real", 0.08, "fraction of real-body jobs in the mix (negative: none)")
+
+		workers  = flag.Int("workers", 4, "epoch workers (also the SLO model's pool width)")
+		maxBatch = flag.Int("maxbatch", 8, "max jobs folded into one serving batch")
+		queue    = flag.Int("queue", 1024, "admission queue depth")
+		downTier = flag.Bool("downtier", false, "admit predicted deadline misses as best-effort instead of rejecting")
+
+		scaleMax    = flag.Int("autoscale-max", 0, "enable auto-scaling up to this many workers (0: off)")
+		scaleTarget = flag.Duration("autoscale-target", 10*time.Millisecond, "queue-wait p99 the auto-scaler steers toward")
+
+		repeat   = flag.Int("repeat", 1, "replays of the same config; signatures must match")
+		out      = flag.String("out", "", "write the full Result JSON here")
+		benchOut = flag.String("bench-out", "", "write a benchgate-compatible test2json stream here")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		N: *n, Seed: *seed, Process: loadgen.Process(*process),
+		Rate: *rate, Rho: *rho, Workers: *workers, BurstSize: *burst,
+		DiurnalAmplitude: *diurnal, DiurnalPeriod: *period,
+		Deadline: *deadline, Warmup: *warmup, Pace: *pace,
+		Mix: workload.MixConfig{RealFraction: *realFrac},
+	}
+
+	var first *loadgen.Result
+	for rep := 0; rep < *repeat; rep++ {
+		res, err := runOnce(cfg, *workers, *maxBatch, *queue, *downTier, *scaleMax, *scaleTarget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(res.Summary())
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.AdmissionSig != first.AdmissionSig {
+			fmt.Fprintf(os.Stderr, "loadgen: replay %d admission signature %s != first replay %s — run is not reproducible\n",
+				rep+1, res.AdmissionSig, first.AdmissionSig)
+			os.Exit(1)
+		}
+		if res.Admitted != first.Admitted || res.BestEffort != first.BestEffort ||
+			res.RejectedSLO != first.RejectedSLO {
+			fmt.Fprintf(os.Stderr, "loadgen: replay %d ledger diverged (admitted %d/%d best-effort %d/%d rejected %d/%d)\n",
+				rep+1, res.Admitted, first.Admitted, res.BestEffort, first.BestEffort, res.RejectedSLO, first.RejectedSLO)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: replay %d reproduced signature %s\n", rep+1, res.AdmissionSig)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(first, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: marshal result: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, first); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// runOnce builds a fresh serving stack, replays the traffic, and tears the
+// stack down.
+func runOnce(cfg loadgen.Config, workers, maxBatch, queue int, downTier bool, scaleMax int, scaleTarget time.Duration) (*loadgen.Result, error) {
+	scfg := core.ServerConfig{
+		EpochWorkers: workers, MaxBatch: maxBatch, QueueDepth: queue,
+		Block: true,
+	}
+	if cfg.Deadline > 0 {
+		scfg.SLO = &core.SLOPolicy{Workers: workers, DownTier: downTier}
+	}
+	if scaleMax > 0 {
+		scfg.AutoScale = &core.AutoScalePolicy{Min: workers, Max: scaleMax, TargetP99: scaleTarget}
+	}
+	srv, err := core.NewServer(scfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := loadgen.Run(context.Background(), srv, cfg)
+	closeCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if cerr := srv.Close(closeCtx); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if scaleMax > 0 {
+		fmt.Printf("loadgen: auto-scaler: scale-ups=%d scale-downs=%d\n",
+			srv.Runtime().Telemetry().Counter("runtime", "server_scale_up"),
+			srv.Runtime().Telemetry().Counter("runtime", "server_scale_down"))
+	}
+	return res, nil
+}
+
+// writeBench emits the result as a one-benchmark test2json stream so
+// cmd/benchgate can gate it. The gated units (admitted, slo-met) are
+// deterministic counts for a fixed seed — machine-speed independent.
+func writeBench(path string, r *loadgen.Result) error {
+	line := fmt.Sprintf("BenchmarkLoadgen/%s\t       1\t%12d ns/op\t%10d admitted\t%10d slo-met\t%10d rejected\n",
+		r.Process, r.Elapsed.Nanoseconds(), r.Admitted, r.SLOMet, r.RejectedSLO)
+	ev := struct{ Output string }{Output: line}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

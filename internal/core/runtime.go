@@ -122,6 +122,11 @@ func (rt *Runtime) Regions() *region.Manager { return rt.regions }
 // Telemetry returns the cross-layer metrics registry.
 func (rt *Runtime) Telemetry() *telemetry.Registry { return rt.tel }
 
+// Scheduler returns the task scheduler — load harnesses use it to price
+// sampled jobs (sched.EstimateJob) when deriving arrival rates from a
+// target utilization.
+func (rt *Runtime) Scheduler() sched.Scheduler { return rt.sched }
+
 // TaskReport describes one executed task.
 type TaskReport struct {
 	Task    string
@@ -164,6 +169,19 @@ type Report struct {
 	// concurrently on a shared worker pool (the Server's default) rather
 	// than job-after-job (ServerConfig.Sequential).
 	Overlapped bool
+	// SLODeadline, SLOWait, and SLOPredicted are the deadline this
+	// submission was admitted against, the admission model's predicted
+	// virtual queue wait, and the predicted virtual sojourn (wait +
+	// makespan estimate). The achieved virtual sojourn is SLOWait +
+	// Makespan — what SLO attainment is measured on. All zero without
+	// ServerConfig.SLO.
+	SLODeadline  time.Duration
+	SLOWait      time.Duration
+	SLOPredicted time.Duration
+	// BestEffort marks a job the SLO policy down-tiered at admission: it
+	// was predicted to miss its deadline and runs outside the SLO-attaining
+	// population (SLOPolicy.DownTier).
+	BestEffort bool
 	// SkippedTasks counts tasks this run completed from checkpoint
 	// snapshots without re-executing their bodies — the replay skip set of
 	// a recovery retry. Zero on a first attempt and outside recovery. The

@@ -102,6 +102,19 @@ type ServerConfig struct {
 	// epoch) up to MaxAttempts. Nil disables recovery: failures surface
 	// directly to the submitter.
 	Recovery *RecoveryPolicy
+	// SLO, when set, makes admission deadline-aware: every submission is
+	// priced with the scheduler's makespan estimate against a deterministic
+	// queue model of the pool, and predicted deadline misses are rejected
+	// (ErrDeadline) or down-tiered before they consume a queue slot. The
+	// model charges capacity at decision time, so pair it with Block or a
+	// queue deep enough that SLO admission — not ErrQueueFull — is the
+	// effective gate. See slo.go.
+	SLO *SLOPolicy
+	// AutoScale, when set, lets the server grow and shrink its live
+	// epoch-worker pool between the policy's bounds, steering the observed
+	// queue-wait p99 toward the policy target. Purely a wall-clock control:
+	// it never alters admission decisions or virtual-time reports.
+	AutoScale *AutoScalePolicy
 }
 
 // RecoveryPolicy configures fault-tolerant serving (ServerConfig.Recovery).
@@ -165,15 +178,21 @@ func backoffWait(rec *recoveryState, attempt int) time.Duration {
 // returns that outcome without blocking, any number of times, from any
 // goroutine.
 type Ticket struct {
-	id     uint64
-	done   chan struct{}
-	report *Report
-	err    error
+	id         uint64
+	bestEffort bool
+	done       chan struct{}
+	report     *Report
+	err        error
 }
 
 // ID returns the submission's admission sequence number, unique per server
 // — the same number that namespaces the job's regions and checkpoints.
 func (t *Ticket) ID() uint64 { return t.id }
+
+// BestEffort reports whether SLO admission down-tiered this submission
+// (predicted deadline miss under a DownTier policy). Known at admission
+// time, so callers can log the tier before the job runs.
+func (t *Ticket) BestEffort() bool { return t.bestEffort }
 
 // Done returns a channel closed when the job's outcome is available.
 // Callers multiplexing many tickets select on it and then call Wait.
@@ -207,21 +226,37 @@ type jobTicket struct {
 	ctx      context.Context
 	enqueued time.Time
 	tk       *Ticket
+	// SLO admission state (zero without ServerConfig.SLO): the plan the
+	// estimate was derived from — reused by overlapped batches instead of
+	// replanning — plus the deadline judged against, the model's predicted
+	// sojourn, and whether the job was down-tiered to best-effort.
+	plan       *sched.Schedule
+	deadline   time.Duration
+	slowait    time.Duration // model's predicted virtual queue wait
+	predicted  time.Duration // slowait + makespan estimate
+	bestEffort bool
 }
 
 // Server is the admission-controlled serving engine. It is safe for
 // concurrent use by multiple goroutines.
 type Server struct {
 	rt         *Runtime
+	workers    int // configured EpochWorkers (the auto-scaler's baseline)
 	maxBatch   int
 	block      bool
 	maxLinger  time.Duration
 	sequential bool
 	rec        *recoveryState // nil: recovery disabled
+	slo        *sloState      // nil: admission is deadline-blind
+	scaler     *scaler        // nil: fixed worker pool
 
 	queue chan *jobTicket
-	wg    sync.WaitGroup
-	seq   atomic.Uint64
+	// shrink carries the auto-scaler's scale-down tokens; a worker that
+	// observes one exits. Nil (blocking forever in selects) without a
+	// scaler.
+	shrink chan struct{}
+	wg     sync.WaitGroup
+	seq    atomic.Uint64
 
 	// gate serializes admission against Close: submissions hold the read
 	// side while enqueueing, Close takes the write side to flip closed, so
@@ -281,6 +316,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		rt:         rt,
+		workers:    workers,
 		maxBatch:   maxBatch,
 		block:      cfg.Block,
 		maxLinger:  cfg.MaxLinger,
@@ -288,9 +324,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		rec:        rec,
 		queue:      make(chan *jobTicket, depth),
 	}
+	if cfg.SLO != nil {
+		s.slo = newSLOState(*cfg.SLO, workers)
+	}
+	if cfg.AutoScale != nil {
+		s.scaler = newScaler(s, *cfg.AutoScale, workers)
+		s.shrink = make(chan struct{}, s.scaler.pol.Max)
+	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.scaler != nil {
+		go s.scaler.loop()
 	}
 	return s, nil
 }
@@ -309,13 +355,22 @@ func (s *Server) Checkpointer() *Checkpointer {
 
 // SubmitAsync admits a job without waiting for it to execute: it returns a
 // Ticket as soon as the job is queued, or an admission error (a validation
-// failure, ErrQueueFull, ErrServerClosed, or — when Block is set and the
-// queue stays full — ctx's error) immediately. The submission ctx governs
-// the job's whole lifetime, exactly as with Submit: a job canceled while
-// queued is never executed; one canceled mid-run is stopped at the next
-// task boundary and its regions are released. The outcome is retrieved via
-// the ticket (Done, Wait).
+// failure, ErrQueueFull, ErrServerClosed, ErrDeadline under an SLO policy,
+// or — when Block is set and the queue stays full — ctx's error)
+// immediately. The submission ctx governs the job's whole lifetime, exactly
+// as with Submit: a job canceled while queued is never executed; one
+// canceled mid-run is stopped at the next task boundary and its regions are
+// released. The outcome is retrieved via the ticket (Done, Wait).
 func (s *Server) SubmitAsync(ctx context.Context, job *dataflow.Job) (*Ticket, error) {
+	return s.SubmitAsyncOpts(ctx, job, SubmitOptions{})
+}
+
+// SubmitAsyncOpts is SubmitAsync with explicit admission inputs: the
+// submission's virtual arrival time and per-job deadline for the SLO
+// admission model (both ignored without ServerConfig.SLO). Traffic
+// harnesses submit through this entry so replayed arrival sequences make
+// identical admission decisions run-to-run.
+func (s *Server) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt SubmitOptions) (*Ticket, error) {
 	if job == nil {
 		return nil, errors.New("core: nil job")
 	}
@@ -325,9 +380,35 @@ func (s *Server) SubmitAsync(ctx context.Context, job *dataflow.Job) (*Ticket, e
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
+	// A submission whose context already ended must never reach the queue:
+	// it would ride a batch slot (and MaxLinger wait) only to be dropped at
+	// dequeue. Refuse it here and account it as canceled, not rejected —
+	// the server had room, the submitter had given up.
+	if err := ctx.Err(); err != nil {
+		s.rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
+		return nil, err
+	}
 	t := &jobTicket{
 		job: job, ctx: ctx, enqueued: time.Now(),
 		tk: &Ticket{id: s.seq.Add(1), done: make(chan struct{})},
+	}
+	if s.slo != nil {
+		est, plan, err := sched.EstimateJob(job, s.rt.topo, s.rt.sched)
+		if err != nil {
+			return nil, err
+		}
+		wait, predicted, tier := s.slo.admit(opt, est.Makespan)
+		if tier == tierRejected {
+			s.rt.tel.Add(telemetry.LayerRuntime, "server_slo_rejected", 1)
+			return nil, fmt.Errorf("%w: predicted %v, deadline %v", ErrDeadline, predicted, s.slo.deadlineFor(opt))
+		}
+		t.plan, t.slowait, t.predicted = plan, wait, predicted
+		t.deadline = s.slo.deadlineFor(opt)
+		if tier == tierBestEffort {
+			t.bestEffort = true
+			t.tk.bestEffort = true
+			s.rt.tel.Add(telemetry.LayerRuntime, "server_downtiered", 1)
+		}
 	}
 
 	s.gate.RLock()
@@ -384,6 +465,11 @@ func (s *Server) Close(ctx context.Context) error {
 	s.closed = true
 	s.gate.Unlock()
 	if !already {
+		// The scale controller must be fully stopped before the drain: a
+		// late scale-up would Add on a WaitGroup already being waited on.
+		if s.scaler != nil {
+			s.scaler.stopWait()
+		}
 		close(s.queue) // no Submit can be mid-send once the gate flipped
 	}
 	done := make(chan struct{})
@@ -399,15 +485,20 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 }
 
-// worker serves batches until the queue is closed and drained.
+// worker serves batches until the queue is closed and drained, or the
+// auto-scaler hands it a scale-down token.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		t, ok := <-s.queue
-		if !ok {
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runBatch(s.collect(t))
+		case <-s.shrink: // nil without a scaler: never ready
 			return
 		}
-		s.runBatch(s.collect(t))
 	}
 }
 
@@ -415,8 +506,13 @@ func (s *Server) worker() {
 // the batch shares one virtual-time epoch. With MaxLinger zero the fold is
 // opportunistic (whatever is already queued); a positive linger waits that
 // long for stragglers, bounding the queue wait it can add to first.
+//
+// Tickets whose context ended while queued are finished here and never
+// occupy a batch slot: a dead job must not displace a live one from the
+// epoch, nor stretch the linger wait of the jobs it rides with. The batch
+// may come back empty (every candidate was dead); runBatch no-ops on it.
 func (s *Server) collect(first *jobTicket) []*jobTicket {
-	batch := []*jobTicket{first}
+	batch := s.appendLive(nil, first)
 	if s.maxLinger > 0 {
 		timer := time.NewTimer(s.maxLinger)
 		defer timer.Stop()
@@ -426,7 +522,7 @@ func (s *Server) collect(first *jobTicket) []*jobTicket {
 				if !ok {
 					return batch
 				}
-				batch = append(batch, t)
+				batch = s.appendLive(batch, t)
 			case <-timer.C:
 				return batch
 			}
@@ -439,12 +535,35 @@ func (s *Server) collect(first *jobTicket) []*jobTicket {
 			if !ok {
 				return batch
 			}
-			batch = append(batch, t)
+			batch = s.appendLive(batch, t)
 		default:
 			return batch
 		}
 	}
 	return batch
+}
+
+// appendLive folds a dequeued ticket into the batch, unless its context
+// already ended — then the outcome is delivered immediately and the batch
+// is returned unchanged (the canceled-while-queued drop, counted under
+// server_canceled).
+func (s *Server) appendLive(batch []*jobTicket, t *jobTicket) []*jobTicket {
+	if err := t.ctx.Err(); err != nil {
+		s.noteQueueWait(time.Since(t.enqueued))
+		s.rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
+		t.tk.deliver(nil, err)
+		return batch
+	}
+	return append(batch, t)
+}
+
+// noteQueueWait records one observed queue wait — into the shared telemetry
+// histogram and, when auto-scaling, the controller's sliding window.
+func (s *Server) noteQueueWait(d time.Duration) {
+	s.rt.tel.Observe(telemetry.LayerRuntime, "server_queue_wait", d)
+	if s.scaler != nil {
+		s.scaler.note(d)
+	}
 }
 
 // liveJob is one batch member's execution state.
@@ -475,11 +594,12 @@ func (s *Server) runBatch(batch []*jobTicket) {
 	rt := s.rt
 	dequeued := time.Now()
 
-	// Queue-wait accounting; jobs whose context ended while queued are
-	// finished here without ever executing.
+	// Queue-wait accounting; jobs whose context ended between collect and
+	// here (collect already dropped those dead while queued) are finished
+	// without ever executing.
 	admitted := batch[:0]
 	for _, t := range batch {
-		rt.tel.Observe(telemetry.LayerRuntime, "server_queue_wait", dequeued.Sub(t.enqueued))
+		s.noteQueueWait(dequeued.Sub(t.enqueued))
 		if err := t.ctx.Err(); err != nil {
 			rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
 			t.tk.deliver(nil, err)
@@ -506,11 +626,17 @@ func (s *Server) runBatch(batch []*jobTicket) {
 	for _, t := range admitted {
 		var schedule *sched.Schedule
 		var err error
-		if s.sequential {
+		switch {
+		case s.sequential:
 			// Members queue behind each other: plan against the batch's
 			// accumulating load.
 			schedule, err = rt.scheduleInto(t.job, load)
-		} else {
+		case t.plan != nil:
+			// SLO admission already planned this job against an idle
+			// machine — exactly the empty-load plan overlapped members use —
+			// so reuse it rather than paying HEFT twice per submission.
+			schedule = t.plan
+		default:
 			// Virtual isolation extends to planning: an empty load per
 			// member yields the same plan the job would get alone, which is
 			// what makes overlapped reports identical to solo runs.
@@ -749,6 +875,10 @@ func (s *Server) complete(l *liveJob) {
 	l.r.report.BatchSize = l.batchSize
 	l.r.report.BatchIndex = l.batchIndex
 	l.r.report.Overlapped = l.overlapped
+	l.r.report.SLODeadline = l.t.deadline
+	l.r.report.SLOWait = l.t.slowait
+	l.r.report.SLOPredicted = l.t.predicted
+	l.r.report.BestEffort = l.t.bestEffort
 	span := "serve"
 	if l.attempt > 1 {
 		span = "serve-recovered"

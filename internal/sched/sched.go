@@ -146,43 +146,9 @@ func (HEFT) ScheduleLoaded(job *dataflow.Job, topo *topology.Topology, initial m
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
-	order, err := job.TopoOrder()
+	order, _, rank, err := upwardRanks(job, topo)
 	if err != nil {
 		return nil, err
-	}
-	// Mean execution time per task across its eligible devices.
-	meanExec := make(map[*dataflow.Task]time.Duration, len(order))
-	for _, t := range order {
-		devs := eligible(t, topo)
-		if len(devs) == 0 {
-			return nil, fmt.Errorf("%w: %s wants %s", ErrNoDevice, t.ID(), t.Props().Compute)
-		}
-		var sum time.Duration
-		for _, d := range devs {
-			sum += execTime(t, d)
-		}
-		meanExec[t] = sum / time.Duration(len(devs))
-	}
-	// Mean communication: use a representative cross-device figure.
-	meanComm := func(t *dataflow.Task) time.Duration {
-		b := t.Props().OutputBytes
-		if b <= 0 {
-			return 0
-		}
-		return time.Duration(float64(b) / 20e9 * float64(time.Second))
-	}
-	// Upward ranks, computed in reverse topological order.
-	rank := make(map[*dataflow.Task]time.Duration, len(order))
-	for i := len(order) - 1; i >= 0; i-- {
-		t := order[i]
-		var max time.Duration
-		for _, s := range t.Succs() {
-			v := meanComm(t) + rank[s]
-			if v > max {
-				max = v
-			}
-		}
-		rank[t] = meanExec[t] + max
 	}
 	// Priority: rank descending (ties by topological position for
 	// determinism and dependency safety).

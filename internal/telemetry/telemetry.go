@@ -216,9 +216,9 @@ func (r *Registry) Report() string {
 		sort.Strings(hkeys)
 		b.WriteString("histograms:\n")
 		for _, k := range hkeys {
-			h := hists[k]
-			fmt.Fprintf(&b, "  %-32s n=%d mean=%v p50=%v p99=%v max=%v\n",
-				k, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+			s := hists[k].Snapshot()
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%v p50=%v p99=%v p999=%v max=%v\n",
+				k, s.Count, s.Mean, s.P50, s.P99, s.P999, s.Max)
 		}
 	}
 	return b.String()
@@ -300,6 +300,31 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
+// HistSnapshot is a histogram's consistent summary at one instant — the
+// latency figures a serving report quotes (count, mean, p50/p99/p999 tail,
+// max). Taken atomically under the histogram's lock, so the quantiles are
+// mutually consistent even while observations keep arriving.
+type HistSnapshot struct {
+	Count                     int64
+	Mean, P50, P99, P999, Max time.Duration
+}
+
+// Snapshot summarizes the histogram. The p999 figure is what open-loop
+// traffic runs gate on: with 100k+ submissions the 0.999 tail is resolved by
+// real samples, not interpolation artifacts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.count, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P99 = h.quantileLocked(0.99)
+	s.P999 = h.quantileLocked(0.999)
+	return s
+}
+
 // Quantile estimates the q-quantile, q in [0,1], by locating the bucket
 // holding the target rank and interpolating linearly inside it (the usual
 // Prometheus-style estimator) instead of returning the raw bucket boundary.
@@ -308,6 +333,10 @@ func (h *Histogram) Max() time.Duration {
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
