@@ -19,7 +19,7 @@ test:
 # engine (core.Server, epochs, recovery), the region manager, the fault
 # injector/stores, and the telemetry registry.
 race:
-	$(GO) test -race ./internal/core/... ./internal/region/... ./internal/fault/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/region/... ./internal/fault/... ./internal/telemetry/... ./internal/cluster/... ./internal/shard/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -33,7 +33,7 @@ bench:
 # fails the target when serve throughput regressed >10% vs the baseline
 # (override with BENCHGATE_TOLERANCE).
 bench-smoke: loadgen-smoke
-	@for f in BENCH_parallel.json BENCH_serve.json BENCH_recover.json; do \
+	@for f in BENCH_parallel.json BENCH_serve.json BENCH_recover.json BENCH_shard.json; do \
 		if [ -f $$f ]; then cp $$f $${f%.json}_before.json; fi; done
 	$(GO) test -run XXX -bench 'BenchmarkWideDAGParallel|BenchmarkServeParallel' \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_parallel.json
@@ -44,7 +44,12 @@ bench-smoke: loadgen-smoke
 	$(GO) test -run XXX -bench BenchmarkRecoverPartial \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_recover.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_recover.json | head -20 || true
+	$(GO) test -run XXX -bench BenchmarkServeSharded \
+		-benchtime 2x -benchmem -json ./internal/shard/ > BENCH_shard.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_shard.json | head -20 || true
 	$(GO) run ./cmd/benchgate -baseline bench/BENCH_serve_baseline.json -current BENCH_serve.json
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_shard_baseline.json -current BENCH_shard.json \
+		-metrics jobs/s,speedup
 
 # Seconds-scale fixed-seed open-loop serving smoke: 4k submissions against
 # the SLO admission gate, replayed twice — the run itself fails if the two
@@ -56,6 +61,10 @@ loadgen-smoke:
 		-bench-out BENCH_loadgen.json
 	$(GO) run ./cmd/benchgate -baseline bench/BENCH_loadgen_baseline.json \
 		-current BENCH_loadgen.json -metrics admitted,slo-met -tolerance 0
+	$(GO) run ./cmd/loadgen -n 4000 -seed 42 -rho 1.5 -deadline 40us -real -1 \
+		-repeat 2 -shards 2 -bench-out BENCH_loadgen_shard.json
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_loadgen_shard_baseline.json \
+		-current BENCH_loadgen_shard.json -metrics admitted,slo-met -tolerance 0
 
 # Fail if any exported identifier in the facade package lacks a doc comment.
 doccheck:

@@ -70,6 +70,8 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "inject one deterministic fault into this fraction of task sites (0..1)")
 	maxAttempts := flag.Int("maxattempts", 3, "recovery: total runs per submission")
 	execWorkers := flag.Int("execworkers", 0, "wavefront executor pool size per run (0 = GOMAXPROCS); virtual time is identical for every value")
+	shards := flag.Int("shards", 1, "serve mode: consistent-hash submissions across this many server shards (each with its own runtime; -placer does not apply)")
+	crashShard := flag.Int("crash", -1, "serve mode with -shards: crash this shard mid-stream to demonstrate re-route/failover")
 	flag.Parse()
 
 	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
@@ -133,6 +135,28 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *serve && *shards > 1 {
+		if err := serveSharded(buildJob, shardServeOpts{
+			serveOpts: serveOpts{
+				jobName: *jobName, jobList: *jobList,
+				workers: *workers, queueDepth: *queueDepth, maxBatch: *maxBatch,
+				overlap: *overlap,
+				recover: *recover, partialReplay: *partialReplay,
+				maxAttempts: *maxAttempts, inject: inject,
+			},
+			shards: *shards, crash: *crashShard,
+			scheduler: scheduler, exec: *execWorkers, tel: tel,
+		}); err != nil {
+			fatal(err)
+		}
+		if *profile {
+			fmt.Println()
+			fmt.Print(tel.Report())
+		}
+		writeTrace(tel, *traceOut)
+		return
 	}
 
 	if *serve {
@@ -260,20 +284,7 @@ func newCheckpointStore() (fault.Store, error) {
 // serveJobs drives core.Server from parallel goroutines: -jobs is either a
 // plain number (that many copies of -job) or a comma-separated mix.
 func serveJobs(rt *core.Runtime, tel *telemetry.Registry, buildJob func(string) (*dataflow.Job, error), o serveOpts) error {
-	var names []string
-	if n, err := strconv.Atoi(strings.TrimSpace(o.jobList)); err == nil && n > 0 {
-		for i := 0; i < n; i++ {
-			names = append(names, o.jobName)
-		}
-	} else if o.jobList != "" {
-		for _, name := range strings.Split(o.jobList, ",") {
-			names = append(names, strings.TrimSpace(name))
-		}
-	} else {
-		for i := 0; i < 8; i++ {
-			names = append(names, o.jobName)
-		}
-	}
+	names := serveJobNames(o)
 	jobs := make([]*dataflow.Job, len(names))
 	for i, name := range names {
 		j, err := buildJob(name)
@@ -384,4 +395,14 @@ func writeTrace(tel *telemetry.Registry, path string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "disaggsim:", err)
 	os.Exit(1)
+}
+
+func atoiTrim(s string) (int, error) { return strconv.Atoi(strings.TrimSpace(s)) }
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
 }

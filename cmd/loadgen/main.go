@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loadgen"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -57,6 +58,8 @@ func main() {
 		scaleMax    = flag.Int("autoscale-max", 0, "enable auto-scaling up to this many workers (0: off)")
 		scaleTarget = flag.Duration("autoscale-target", 10*time.Millisecond, "queue-wait p99 the auto-scaler steers toward")
 
+		shards = flag.Int("shards", 1, "consistent-hash the stream across this many server shards (each a full serving stack: own runtime, epoch pool, SLO gate)")
+
 		repeat   = flag.Int("repeat", 1, "replays of the same config; signatures must match")
 		out      = flag.String("out", "", "write the full Result JSON here")
 		benchOut = flag.String("bench-out", "", "write a benchgate-compatible test2json stream here")
@@ -65,22 +68,26 @@ func main() {
 
 	cfg := loadgen.Config{
 		N: *n, Seed: *seed, Process: loadgen.Process(*process),
-		Rate: *rate, Rho: *rho, Workers: *workers, BurstSize: *burst,
+		// The Rho→Rate derivation models the cluster-wide pool: workers per
+		// shard times shards.
+		Rate: *rate, Rho: *rho, Workers: *workers * max(*shards, 1), BurstSize: *burst,
 		DiurnalAmplitude: *diurnal, DiurnalPeriod: *period,
 		Deadline: *deadline, Warmup: *warmup, Pace: *pace,
 		Mix: workload.MixConfig{RealFraction: *realFrac},
 	}
 
 	var first *loadgen.Result
+	var firstStats []shard.ShardStats
 	for rep := 0; rep < *repeat; rep++ {
-		res, err := runOnce(cfg, *workers, *maxBatch, *queue, *downTier, *scaleMax, *scaleTarget)
+		res, stats, err := runOnce(cfg, *shards, *workers, *maxBatch, *queue, *downTier, *scaleMax, *scaleTarget)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(2)
 		}
 		fmt.Print(res.Summary())
+		printShards(stats)
 		if first == nil {
-			first = res
+			first, firstStats = res, stats
 			continue
 		}
 		if res.AdmissionSig != first.AdmissionSig {
@@ -94,7 +101,23 @@ func main() {
 				rep+1, res.Admitted, first.Admitted, res.BestEffort, first.BestEffort, res.RejectedSLO, first.RejectedSLO)
 			os.Exit(1)
 		}
+		for i := range stats {
+			if stats[i].AdmissionSig != firstStats[i].AdmissionSig || stats[i].Submitted != firstStats[i].Submitted {
+				fmt.Fprintf(os.Stderr, "loadgen: replay %d shard %s fingerprint %s/%d != first replay %s/%d — per-shard routing is not reproducible\n",
+					rep+1, stats[i].Name, stats[i].AdmissionSig, stats[i].Submitted,
+					firstStats[i].AdmissionSig, firstStats[i].Submitted)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("loadgen: replay %d reproduced signature %s\n", rep+1, res.AdmissionSig)
+	}
+	// A virtual SLO miss among admitted guaranteed-tier jobs means a shard's
+	// admission model lied about its own pool — fail loudly.
+	for _, st := range firstStats {
+		if st.SLOMissed > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: shard %s reported %d virtual SLO misses among admitted jobs\n", st.Name, st.SLOMissed)
+			os.Exit(3)
+		}
 	}
 
 	if *out != "" {
@@ -109,53 +132,90 @@ func main() {
 		}
 	}
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, first); err != nil {
+		if err := writeBench(*benchOut, first, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(2)
 		}
 	}
 }
 
-// runOnce builds a fresh serving stack, replays the traffic, and tears the
-// stack down.
-func runOnce(cfg loadgen.Config, workers, maxBatch, queue int, downTier bool, scaleMax int, scaleTarget time.Duration) (*loadgen.Result, error) {
+// runOnce builds a fresh serving stack — one server, or a shard.Cluster
+// when shards > 1 — replays the traffic, and tears the stack down. Sharded
+// runs also return the per-shard routing/admission stats.
+func runOnce(cfg loadgen.Config, shards, workers, maxBatch, queue int, downTier bool, scaleMax int, scaleTarget time.Duration) (*loadgen.Result, []shard.ShardStats, error) {
 	scfg := core.ServerConfig{
 		EpochWorkers: workers, MaxBatch: maxBatch, QueueDepth: queue,
 		Block: true,
 	}
 	if cfg.Deadline > 0 {
+		// Each shard's SLO gate models its own pool.
 		scfg.SLO = &core.SLOPolicy{Workers: workers, DownTier: downTier}
 	}
 	if scaleMax > 0 {
 		scfg.AutoScale = &core.AutoScalePolicy{Min: workers, Max: scaleMax, TargetP99: scaleTarget}
 	}
-	srv, err := core.NewServer(scfg)
-	if err != nil {
-		return nil, err
+
+	var (
+		target loadgen.Target
+		stats  func() []shard.ShardStats
+		closer func(context.Context) error
+	)
+	if shards > 1 {
+		c, err := shard.NewCluster(shard.Config{Shards: shards, Server: scfg, TrackLoad: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		target, stats, closer = c, c.Stats, c.Close
+	} else {
+		srv, err := core.NewServer(scfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		target, closer = srv, srv.Close
 	}
-	res, err := loadgen.Run(context.Background(), srv, cfg)
+
+	res, err := loadgen.Run(context.Background(), target, cfg)
+	var shardStats []shard.ShardStats
+	if stats != nil {
+		shardStats = stats() // before Close: Stats reads the live fabric
+	}
 	closeCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	if cerr := srv.Close(closeCtx); err == nil {
+	if cerr := closer(closeCtx); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if scaleMax > 0 {
 		fmt.Printf("loadgen: auto-scaler: scale-ups=%d scale-downs=%d\n",
-			srv.Runtime().Telemetry().Counter("runtime", "server_scale_up"),
-			srv.Runtime().Telemetry().Counter("runtime", "server_scale_down"))
+			target.Runtime().Telemetry().Counter("runtime", "server_scale_up"),
+			target.Runtime().Telemetry().Counter("runtime", "server_scale_down"))
 	}
-	return res, nil
+	return res, shardStats, nil
+}
+
+// printShards renders the per-shard routing/admission ledger.
+func printShards(stats []shard.ShardStats) {
+	for _, st := range stats {
+		fmt.Printf("  shard %-7s admitted=%d best-effort=%d rejected-slo=%d rejected-queue=%d slo-missed=%d sig=%s est-work=%v fabric=%dv/%dB\n",
+			st.Name, st.Admitted, st.BestEffort, st.RejectedSLO, st.RejectedQueue,
+			st.SLOMissed, st.AdmissionSig, time.Duration(st.EstWorkNs), st.Fabric.Verbs, st.Fabric.Bytes)
+	}
 }
 
 // writeBench emits the result as a one-benchmark test2json stream so
 // cmd/benchgate can gate it. The gated units (admitted, slo-met) are
 // deterministic counts for a fixed seed — machine-speed independent.
-func writeBench(path string, r *loadgen.Result) error {
-	line := fmt.Sprintf("BenchmarkLoadgen/%s\t       1\t%12d ns/op\t%10d admitted\t%10d slo-met\t%10d rejected\n",
-		r.Process, r.Elapsed.Nanoseconds(), r.Admitted, r.SLOMet, r.RejectedSLO)
+func writeBench(path string, r *loadgen.Result, shards int) error {
+	name := fmt.Sprintf("BenchmarkLoadgen/%s", r.Process)
+	if shards > 1 {
+		// Sharded runs gate against their own baseline: K independent SLO
+		// models admit a different (still deterministic) subset.
+		name = fmt.Sprintf("BenchmarkLoadgen/%s/shards=%d", r.Process, shards)
+	}
+	line := fmt.Sprintf("%s\t       1\t%12d ns/op\t%10d admitted\t%10d slo-met\t%10d rejected\n",
+		name, r.Elapsed.Nanoseconds(), r.Admitted, r.SLOMet, r.RejectedSLO)
 	ev := struct{ Output string }{Output: line}
 	data, err := json.Marshal(ev)
 	if err != nil {

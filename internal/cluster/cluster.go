@@ -29,6 +29,7 @@ var (
 	ErrOutOfMemory  = errors.New("cluster: memory node capacity exhausted")
 	ErrUnknownNode  = errors.New("cluster: unknown node")
 	ErrInvalidInput = errors.New("cluster: invalid argument")
+	ErrLeaseHeld    = errors.New("cluster: slab lease held by another owner")
 )
 
 // SlabID names a slab on a specific node.
@@ -46,15 +47,26 @@ type node struct {
 	alive    bool
 	slabs    map[uint64][]byte
 	nextSlab uint64
+	verbs    uint64 // verbs executed at this node (survives crash: NIC-side)
+	bytes    uint64 // payload bytes moved to/from this node
+}
+
+// NodeStats is the per-node slice of the fabric counters: verbs executed at
+// a node and payload bytes moved to or from it. The counters live in the
+// interconnect (NIC-side), so they survive node crashes and restarts.
+type NodeStats struct {
+	Verbs uint64
+	Bytes uint64
 }
 
 // Fabric is the cluster interconnect plus the set of memory nodes.
 type Fabric struct {
 	mu         sync.Mutex
 	nodes      map[string]*node
-	partition  map[string]bool // nodes cut off from the initiators
-	rtt        time.Duration   // one-sided verb round trip
-	bwPerVerb  float64         // bytes/second for payload transfer
+	partition  map[string]bool   // nodes cut off from the initiators
+	leases     map[SlabID]string // slab ownership registry, held in the fabric
+	rtt        time.Duration     // one-sided verb round trip
+	bwPerVerb  float64           // bytes/second for payload transfer
 	verbCount  uint64
 	bytesMoved uint64
 }
@@ -76,6 +88,7 @@ func NewFabric(cfg Config) *Fabric {
 	return &Fabric{
 		nodes:     make(map[string]*node),
 		partition: make(map[string]bool),
+		leases:    make(map[SlabID]string),
 		rtt:       cfg.RTT,
 		bwPerVerb: cfg.Bandwidth,
 	}
@@ -133,6 +146,17 @@ func (f *Fabric) reachable(name string) (*node, error) {
 	return n, nil
 }
 
+// count records one executed verb against the fabric totals and the target
+// node's NIC-side counters. Must be called with f.mu held.
+func (f *Fabric) count(n *node, payload int) {
+	f.verbCount++
+	n.verbs++
+	if payload > 0 {
+		f.bytesMoved += uint64(payload)
+		n.bytes += uint64(payload)
+	}
+}
+
 // AllocSlab carves size bytes out of a node and returns its slab handle and
 // the virtual time the verb took.
 func (f *Fabric) AllocSlab(nodeName string, size int64) (SlabID, time.Duration, error) {
@@ -152,7 +176,7 @@ func (f *Fabric) AllocSlab(nodeName string, size int64) (SlabID, time.Duration, 
 	n.nextSlab++
 	n.slabs[id] = make([]byte, size)
 	n.used += size
-	f.verbCount++
+	f.count(n, 0)
 	return SlabID{Node: nodeName, Slab: id}, f.rtt, nil
 }
 
@@ -170,7 +194,8 @@ func (f *Fabric) FreeSlab(id SlabID) (time.Duration, error) {
 	}
 	delete(n.slabs, id.Slab)
 	n.used -= int64(len(buf))
-	f.verbCount++
+	delete(f.leases, id)
+	f.count(n, 0)
 	return f.rtt, nil
 }
 
@@ -196,8 +221,7 @@ func (f *Fabric) Read(id SlabID, off int64, buf []byte) (time.Duration, error) {
 		return f.rtt, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+int64(len(buf)), len(slab))
 	}
 	copy(buf, slab[off:])
-	f.verbCount++
-	f.bytesMoved += uint64(len(buf))
+	f.count(n, len(buf))
 	return f.xferTime(len(buf)), nil
 }
 
@@ -217,8 +241,7 @@ func (f *Fabric) Write(id SlabID, off int64, buf []byte) (time.Duration, error) 
 		return f.rtt, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+int64(len(buf)), len(slab))
 	}
 	copy(slab[off:], buf)
-	f.verbCount++
-	f.bytesMoved += uint64(len(buf))
+	f.count(n, len(buf))
 	return f.xferTime(len(buf)), nil
 }
 
@@ -241,11 +264,13 @@ func (f *Fabric) CompareAndSwap(id SlabID, off int64, compare, swap uint64) (tim
 	}
 	cur := beUint64(slab[off:])
 	if cur != compare {
+		// A failed compare is still an executed verb: the request traversed
+		// the fabric and the node performed the comparison.
+		f.count(n, 0)
 		return f.rtt, fmt.Errorf("%w: have %d, want %d", ErrCASMismatch, cur, compare)
 	}
 	putBEUint64(slab[off:], swap)
-	f.verbCount++
-	f.bytesMoved += 8
+	f.count(n, 8)
 	return f.rtt, nil
 }
 
@@ -323,4 +348,78 @@ func (f *Fabric) Stats() (verbs, bytes uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.verbCount, f.bytesMoved
+}
+
+// StatsByNode reports the per-node verb/byte counters for every registered
+// node, alive or not.
+func (f *Fabric) StatsByNode() map[string]NodeStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]NodeStats, len(f.nodes))
+	for name, n := range f.nodes {
+		out[name] = NodeStats{Verbs: n.verbs, Bytes: n.bytes}
+	}
+	return out
+}
+
+// NodeStats reports the verb/byte counters of one node.
+func (f *Fabric) NodeStats(nodeName string) (NodeStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[nodeName]
+	if !ok {
+		return NodeStats{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	return NodeStats{Verbs: n.verbs, Bytes: n.bytes}, nil
+}
+
+// Lease claims ownership of a slab for an initiator. The registry lives in
+// the fabric control plane (MIND's "memory-management logic belongs in the
+// network"), so ownership metadata survives the death of the slab's home
+// node. Claiming an unleased slab or re-claiming one's own lease succeeds;
+// claiming another owner's lease fails. Costs one round trip.
+func (f *Fabric) Lease(id SlabID, owner string) (time.Duration, error) {
+	if owner == "" {
+		return 0, ErrInvalidInput
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id.Node]; !ok {
+		return f.rtt, fmt.Errorf("%w: %s", ErrUnknownNode, id.Node)
+	}
+	if cur, ok := f.leases[id]; ok && cur != owner {
+		return f.rtt, fmt.Errorf("%w: %s leased by %s", ErrLeaseHeld, id, cur)
+	}
+	f.leases[id] = owner
+	f.verbCount++
+	return f.rtt, nil
+}
+
+// Owner reports the current lease holder of a slab, if any.
+func (f *Fabric) Owner(id SlabID) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	owner, ok := f.leases[id]
+	return owner, ok
+}
+
+// Handoff transfers a slab lease from one owner to another — the ownership
+// half of a cross-shard region transfer. It is a compare-and-swap on the
+// control plane: it fails unless `from` currently holds the lease. Because
+// the registry is fabric-resident, a handoff succeeds even when the slab's
+// home node is crashed or partitioned (a survivor adopting a dead shard's
+// slabs is exactly the failover case). Costs one round trip.
+func (f *Fabric) Handoff(id SlabID, from, to string) (time.Duration, error) {
+	if from == "" || to == "" {
+		return 0, ErrInvalidInput
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur, ok := f.leases[id]
+	if !ok || cur != from {
+		return f.rtt, fmt.Errorf("%w: %s held by %q, not %q", ErrLeaseHeld, id, cur, from)
+	}
+	f.leases[id] = to
+	f.verbCount++
+	return f.rtt, nil
 }

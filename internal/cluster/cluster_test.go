@@ -290,3 +290,136 @@ func BenchmarkOneSidedRead(b *testing.B) {
 		}
 	}
 }
+
+func TestPerNodeStatsAttribution(t *testing.T) {
+	f := newTestFabric(t, 2)
+	a, _, err := f.AllocSlab(nodeName(0), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := f.AllocSlab(nodeName(1), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if _, err := f.Write(a, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(a, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b, 0, buf[:40]); err != nil {
+		t.Fatal(err)
+	}
+	s0, err := f.NodeStats(nodeName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := f.NodeStats(nodeName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Verbs != 3 || s0.Bytes != 200 { // alloc + write + read
+		t.Errorf("node0 stats = %+v, want {Verbs:3 Bytes:200}", s0)
+	}
+	if s1.Verbs != 2 || s1.Bytes != 40 { // alloc + write
+		t.Errorf("node1 stats = %+v, want {Verbs:2 Bytes:40}", s1)
+	}
+	verbs, bytes := f.Stats()
+	var sumV, sumB uint64
+	for _, s := range f.StatsByNode() {
+		sumV += s.Verbs
+		sumB += s.Bytes
+	}
+	if sumV != verbs || sumB != bytes {
+		t.Errorf("per-node totals (%d verbs, %d bytes) != fabric totals (%d, %d)",
+			sumV, sumB, verbs, bytes)
+	}
+	if _, err := f.NodeStats("nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestCASMismatchCountsAsVerb(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, err := f.AllocSlab(nodeName(0), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := f.Stats()
+	if _, err := f.CompareAndSwap(id, 0, 7, 9); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("CAS err = %v, want ErrCASMismatch", err)
+	}
+	after, _ := f.Stats()
+	if after != before+1 {
+		t.Errorf("failed CAS did not count as a verb: %d -> %d", before, after)
+	}
+	st, _ := f.NodeStats(nodeName(0))
+	if st.Verbs != 2 { // alloc + failed CAS
+		t.Errorf("node verbs = %d, want 2", st.Verbs)
+	}
+	if _, err := f.CompareAndSwap(id, 0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	after2, _ := f.Stats()
+	if after2 != after+1 {
+		t.Errorf("successful CAS did not count as a verb: %d -> %d", after, after2)
+	}
+}
+
+func TestSlabLeaseAndHandoff(t *testing.T) {
+	f := newTestFabric(t, 1)
+	id, _, err := f.AllocSlab(nodeName(0), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Owner(id); ok {
+		t.Fatal("fresh slab must be unleased")
+	}
+	if _, err := f.Lease(id, "shard0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Lease(id, "shard0"); err != nil {
+		t.Fatalf("re-leasing one's own slab must succeed: %v", err)
+	}
+	if _, err := f.Lease(id, "shard1"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("stealing a lease: err = %v, want ErrLeaseHeld", err)
+	}
+	if _, err := f.Handoff(id, "shard1", "shard2"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("handoff from non-owner: err = %v, want ErrLeaseHeld", err)
+	}
+	if d, err := f.Handoff(id, "shard0", "shard1"); err != nil || d <= 0 {
+		t.Fatalf("handoff = (%v, %v), want priced success", d, err)
+	}
+	if owner, _ := f.Owner(id); owner != "shard1" {
+		t.Fatalf("owner = %q, want shard1", owner)
+	}
+	// The ownership registry lives in the fabric: a handoff must succeed
+	// even when the slab's home node is dead (failover adoption).
+	if err := f.Crash(nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Handoff(id, "shard1", "shard2"); err != nil {
+		t.Fatalf("handoff with crashed home node: %v", err)
+	}
+	if owner, _ := f.Owner(id); owner != "shard2" {
+		t.Fatalf("owner after crash handoff = %q, want shard2", owner)
+	}
+	if err := f.Restart(nodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Freeing a slab clears its lease.
+	id2, _, err := f.AllocSlab(nodeName(0), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Lease(id2, "shard0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.FreeSlab(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Owner(id2); ok {
+		t.Error("freed slab must be unleased")
+	}
+}

@@ -84,6 +84,13 @@ func (c *Checkpointer) runID(job string) string {
 	return fmt.Sprintf("%s@%d", job, c.seq.Add(1))
 }
 
+// NewRunID mints a caller-owned snapshot namespace (see runID). A sharded
+// router mints one per submission and threads it through
+// SubmitOptions.ResumeID so every shard attempt of that submission — the
+// original and any failover re-submissions — shares the namespace. The
+// caller owns its lifecycle: call Forget once the submission is settled.
+func (c *Checkpointer) NewRunID(job string) string { return c.runID(job) }
+
 func ckKey(runID, task string) string { return runID + "/" + task }
 
 // lookup returns the entry for a task, if any.

@@ -193,6 +193,11 @@ type Report struct {
 	// its first attempt. SkippedTasks + ReplayedTasks == len(Tasks) on a
 	// recovered report.
 	ReplayedTasks int
+	// Shard labels the serving shard that executed this submission
+	// (SubmitOptions.Shard); empty outside sharded serving. Deliberately
+	// excluded from String() so sharded reports stay byte-identical to solo
+	// runs.
+	Shard string
 }
 
 // String renders the report as a fixed-width table.

@@ -124,6 +124,11 @@ type RecoveryPolicy struct {
 	// (fault.NewReplicatedStore, fault.NewErasureStore). Nil builds a
 	// default 2-way replicated store over a private 3-node fabric.
 	Store fault.Store
+	// Checkpointer, when set, is used directly instead of wrapping Store —
+	// the way a sharded deployment shares one snapshot namespace across
+	// every shard's server, so a job resubmitted on a survivor
+	// (SubmitOptions.ResumeID) can restore what a dead shard checkpointed.
+	Checkpointer *Checkpointer
 	// MaxAttempts caps total runs per submission, first included
 	// (default 3).
 	MaxAttempts int
@@ -220,6 +225,20 @@ func (t *Ticket) deliver(rep *Report, err error) {
 	close(t.done)
 }
 
+// NewRoutedTicket mints a caller-owned ticket for a routing front end (a
+// shard router) that multiplexes server tickets behind its own: the router
+// returns the routed ticket to the submitter and Delivers the outcome of
+// whichever shard attempt finally settles the job. Never handed to a
+// Server.
+func NewRoutedTicket(id uint64, bestEffort bool) *Ticket {
+	return &Ticket{id: id, bestEffort: bestEffort, done: make(chan struct{})}
+}
+
+// Deliver publishes the outcome of a routed ticket (NewRoutedTicket). Must
+// be called exactly once; calling it on a server-issued ticket is a bug
+// (the server delivers those itself).
+func (t *Ticket) Deliver(rep *Report, err error) { t.deliver(rep, err) }
+
 // jobTicket is one admitted submission's server-side state.
 type jobTicket struct {
 	job      *dataflow.Job
@@ -235,6 +254,11 @@ type jobTicket struct {
 	slowait    time.Duration // model's predicted virtual queue wait
 	predicted  time.Duration // slowait + makespan estimate
 	bestEffort bool
+	// Sharded-serving metadata (SubmitOptions.Shard/ResumeID): the shard
+	// label stamped on the report, and the externally owned checkpoint
+	// namespace a failover re-submission resumes from.
+	shard  string
+	resume string
 }
 
 // Server is the admission-controlled serving engine. It is safe for
@@ -290,13 +314,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	var rec *recoveryState
 	if cfg.Recovery != nil {
-		store := cfg.Recovery.Store
-		if store == nil {
-			var err error
-			store, err = defaultFaultStore()
-			if err != nil {
-				return nil, err
+		ck := cfg.Recovery.Checkpointer
+		if ck == nil {
+			store := cfg.Recovery.Store
+			if store == nil {
+				var err error
+				store, err = defaultFaultStore()
+				if err != nil {
+					return nil, err
+				}
 			}
+			ck = NewCheckpointer(store)
 		}
 		maxAttempts := cfg.Recovery.MaxAttempts
 		if maxAttempts <= 0 {
@@ -307,7 +335,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			cap = 8 * cfg.Recovery.Backoff
 		}
 		rec = &recoveryState{
-			ck:          NewCheckpointer(store),
+			ck:          ck,
 			maxAttempts: maxAttempts,
 			backoff:     cfg.Recovery.Backoff,
 			cap:         cap,
@@ -390,9 +418,10 @@ func (s *Server) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt Sub
 	}
 	t := &jobTicket{
 		job: job, ctx: ctx, enqueued: time.Now(),
-		tk: &Ticket{id: s.seq.Add(1), done: make(chan struct{})},
+		tk:    &Ticket{id: s.seq.Add(1), done: make(chan struct{})},
+		shard: opt.Shard, resume: opt.ResumeID,
 	}
-	if s.slo != nil {
+	if s.slo != nil && !opt.Preadmitted {
 		est, plan, err := sched.EstimateJob(job, s.rt.topo, s.rt.sched)
 		if err != nil {
 			return nil, err
@@ -658,8 +687,15 @@ func (s *Server) runBatch(batch []*jobTicket) {
 		if s.rec != nil {
 			// The snapshot namespace is unique per submission, so
 			// same-named jobs in flight never cross-restore or
-			// cross-Forget each other's checkpoints.
-			r.ck, r.ckID = s.rec.ck, s.rec.ck.runID(t.job.Name())
+			// cross-Forget each other's checkpoints. A submission carrying
+			// an external ResumeID adopts that namespace instead: snapshots
+			// a previous (dead-shard) attempt persisted there are restored
+			// rather than re-executed.
+			ckID := t.resume
+			if ckID == "" {
+				ckID = s.rec.ck.runID(t.job.Name())
+			}
+			r.ck, r.ckID = s.rec.ck, ckID
 			r.partial = s.rec.partial
 		}
 		lives = append(lives, &liveJob{t: t, r: r, order: order, ranks: ranks, attempt: 1})
@@ -692,7 +728,7 @@ func (s *Server) runBatchSequential(lives []*liveJob, epoch *topology.Epoch, cor
 			}
 			if failed == "" && l.t.ctx.Err() != nil {
 				// Canceled mid-wavefront: the run was already cleaned up.
-				s.forget(l.r)
+				s.forgetCanceled(l)
 				rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
 				l.t.tk.deliver(nil, err)
 				break
@@ -800,7 +836,7 @@ func (s *Server) runBatchOverlapped(lives []*liveJob, epoch *topology.Epoch) {
 			}
 			if failed == "" && l.t.ctx.Err() != nil {
 				// Canceled mid-wavefront: the run was already cleaned up.
-				s.forget(l.r)
+				s.forgetCanceled(l)
 				rt.tel.Add(telemetry.LayerRuntime, "server_canceled", 1)
 				l.t.tk.deliver(nil, err)
 				continue
@@ -863,6 +899,18 @@ func (s *Server) forget(r *run) {
 	}
 }
 
+// forgetCanceled is forget for a canceled run, except when the submission
+// adopted an external checkpoint namespace (SubmitOptions.ResumeID): a
+// shard being killed cancels its in-flight jobs, and the snapshots they
+// persisted are exactly what the router's failover re-submission replays on
+// a survivor — the namespace owner forgets them, not the dying shard.
+func (s *Server) forgetCanceled(l *liveJob) {
+	if l.t.resume != "" {
+		return
+	}
+	s.forget(l.r)
+}
+
 // complete finalizes a finished run and delivers its report. Recovered
 // jobs (attempt > 1) are distinguished in spans and counters so replayed
 // work is visible in the serving profile.
@@ -879,8 +927,16 @@ func (s *Server) complete(l *liveJob) {
 	l.r.report.SLOWait = l.t.slowait
 	l.r.report.SLOPredicted = l.t.predicted
 	l.r.report.BestEffort = l.t.bestEffort
+	l.r.report.Shard = l.t.shard
 	span := "serve"
 	if l.attempt > 1 {
+		span = "serve-recovered"
+		l.r.report.ReplayedTasks = len(l.r.report.Tasks) - l.r.report.SkippedTasks
+		s.rt.tel.Add(telemetry.LayerRuntime, "server_recovered", 1)
+	} else if l.r.report.SkippedTasks > 0 {
+		// First local attempt, yet tasks were restored: a failover
+		// re-submission (SubmitOptions.ResumeID) replaying what a dead
+		// shard checkpointed.
 		span = "serve-recovered"
 		l.r.report.ReplayedTasks = len(l.r.report.Tasks) - l.r.report.SkippedTasks
 		s.rt.tel.Add(telemetry.LayerRuntime, "server_recovered", 1)

@@ -64,6 +64,25 @@ type SubmitOptions struct {
 	// Deadline overrides SLOPolicy.Deadline for this submission; zero keeps
 	// the policy default.
 	Deadline time.Duration
+	// Shard labels the serving shard handling this submission. Purely
+	// informational: it is copied to Report.Shard (which String() omits, so
+	// sharded reports stay byte-identical to solo runs).
+	Shard string
+	// ResumeID, when non-empty, is an externally minted checkpoint
+	// namespace (Checkpointer.NewRunID) the run adopts instead of minting
+	// its own. A sharded router uses it to re-submit a job that died with
+	// its shard on a survivor: snapshots the dead shard's attempt persisted
+	// are restored instead of re-executed (partial replay across shards).
+	// The namespace is owned by whoever minted it — a run canceled mid-way
+	// leaves the snapshots in place for the next attempt; terminal
+	// completion or failure still forgets them. Ignored without
+	// ServerConfig.Recovery.
+	ResumeID string
+	// Preadmitted bypasses the SLO admission model for this submission:
+	// the job was already admitted once (on a shard that has since died)
+	// and failover must not re-litigate — or double-charge — admission.
+	// Ignored without ServerConfig.SLO.
+	Preadmitted bool
 }
 
 // sloTier is the admission model's verdict for one submission.

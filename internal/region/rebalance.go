@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/topology"
 )
 
 // This file implements background memory tiering — the "reusable optimizer
@@ -91,8 +92,21 @@ func (m *Manager) addressableByAllOwners(r *Region, dev string) bool {
 }
 
 // Rebalance runs one tiering epoch at virtual time now and halves every
-// region's heat afterwards (exponential decay).
+// region's heat afterwards (exponential decay). Migrations are priced
+// against the shared global device queues, so it must not run while epochs
+// are serving; use RebalanceIn for a sweep concurrent with serving.
 func (m *Manager) Rebalance(now time.Duration, pol RebalancePolicy) (RebalanceStats, error) {
+	return m.RebalanceIn(nil, now, pol)
+}
+
+// RebalanceIn is Rebalance with the migrations priced through clk — an
+// epoch or task view (topology.VClock) — instead of the global device
+// queues. A maintenance sweep handed its own private epoch runs fully
+// inside that epoch's virtual clock, leaving the global queues untouched,
+// which is what makes the sweep safe to execute concurrently with serving:
+// serving batches price their work in their own epochs and never observe
+// the sweep's backlog. A nil clk restores the global-queue behavior.
+func (m *Manager) RebalanceIn(clk topology.VClock, now time.Duration, pol RebalancePolicy) (RebalanceStats, error) {
 	pol = pol.withDefaults()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -138,7 +152,7 @@ func (m *Manager) Rebalance(now time.Duration, pol RebalancePolicy) (RebalanceSt
 			if !ok {
 				continue
 			}
-			done, err := m.migrateToLocked(r, comp, dst, now, nil)
+			done, err := m.migrateToLocked(r, comp, dst, now, clk)
 			if err != nil {
 				continue // best-effort: skip unmovable regions
 			}
@@ -180,7 +194,7 @@ func (m *Manager) Rebalance(now time.Duration, pol RebalancePolicy) (RebalanceSt
 		if !m.addressableByAllOwners(r, best) {
 			continue
 		}
-		done, err := m.migrateToLocked(r, comp, best, now, nil)
+		done, err := m.migrateToLocked(r, comp, best, now, clk)
 		if err != nil {
 			continue
 		}

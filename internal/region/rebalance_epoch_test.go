@@ -1,0 +1,144 @@
+package region
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/props"
+	"repro/internal/topology"
+)
+
+// busySnapshot captures every memory device's global queue drain time.
+func busySnapshot(topo *topology.Topology) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, dev := range topo.Memories() {
+		out[dev.ID] = dev.Stats().BusyUntil
+	}
+	return out
+}
+
+// heatRegion drives enough reads through a handle to clear the default
+// promotion threshold.
+func heatRegion(t *testing.T, h *Handle) {
+	t.Helper()
+	buf := make([]byte, 256)
+	for i := 0; i < 32; i++ {
+		if f := h.ReadAsync(0, 0, buf); f.err != nil {
+			t.Fatal(f.err)
+		}
+	}
+}
+
+// TestRebalanceInPricesThroughEpoch pins the property that makes the
+// maintenance sweep safe to run concurrently with serving: handed a private
+// epoch, the sweep's migrations advance only that epoch's device queues,
+// leaving the shared global queues exactly as they were. The nil-clk path
+// (Rebalance) keeps its legacy global-queue pricing.
+func TestRebalanceInPricesThroughEpoch(t *testing.T) {
+	m := newManager(t)
+	h := mustAlloc(t, m, Spec{
+		Name: "hot-index", Class: props.Custom, Size: 4096, Owner: "t", Compute: "node0/cpu0",
+		Req:    props.Requirements{Latency: props.LatencyHigh, ByteAddr: props.Require},
+		Device: "memnode0/far0",
+	})
+	defer h.Release()
+	heatRegion(t, h)
+
+	topo := m.topo
+	before := busySnapshot(topo)
+	epoch := topo.NewEpoch()
+	stats, err := m.RebalanceIn(epoch, 0, RebalancePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Promoted != 1 || stats.Cost <= 0 {
+		t.Fatalf("epoch-priced sweep must still promote with a real cost: %+v", stats)
+	}
+	// The migration's transfer landed on the epoch's clock...
+	var epochBusy time.Duration
+	for _, dev := range topo.Memories() {
+		if b := epoch.BusyUntil(dev.ID); b > epochBusy {
+			epochBusy = b
+		}
+	}
+	if epochBusy <= 0 {
+		t.Error("migration must have advanced the sweep epoch's device queues")
+	}
+	// ...and the global queues are untouched: a concurrently serving batch
+	// would never observe the sweep's backlog.
+	after := busySnapshot(topo)
+	for id, b := range after {
+		if b != before[id] {
+			t.Errorf("global queue of %s moved %v -> %v during an epoch-priced sweep", id, before[id], b)
+		}
+	}
+
+	// Control: the nil-clk sweep prices against the global queues.
+	m2 := newManager(t)
+	h2 := mustAlloc(t, m2, Spec{
+		Name: "hot-index", Class: props.Custom, Size: 4096, Owner: "t", Compute: "node0/cpu0",
+		Req:    props.Requirements{Latency: props.LatencyHigh, ByteAddr: props.Require},
+		Device: "memnode0/far0",
+	})
+	defer h2.Release()
+	heatRegion(t, h2)
+	g := busySnapshot(m2.topo)
+	if _, err := m2.Rebalance(0, RebalancePolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for id, b := range busySnapshot(m2.topo) {
+		if b != g[id] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("nil-clk sweep must keep pricing against the global queues")
+	}
+}
+
+// TestRebalanceInConcurrentWithAccesses runs epoch-priced sweeps while
+// other goroutines allocate, access, and release regions — the serving
+// shape. Run under -race this pins the sweep's locking.
+func TestRebalanceInConcurrentWithAccesses(t *testing.T) {
+	m := newManager(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 128)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := m.Alloc(Spec{
+					Name: "w", Class: props.Custom, Size: 2048,
+					Owner: Owner(rune('a' + g)), Compute: "node0/cpu0",
+					Req:    props.Requirements{Latency: props.LatencyHigh, ByteAddr: props.Require},
+					Device: "memnode0/far0",
+				})
+				if err != nil {
+					continue
+				}
+				for k := 0; k < 10; k++ {
+					h.ReadAsync(0, 0, buf)
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		epoch := m.topo.NewEpoch()
+		if _, err := m.RebalanceIn(epoch, time.Duration(i)*time.Millisecond, RebalancePolicy{}); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+)
+
+// benchStallJob is the serving workload: a three-stage chain whose stages
+// stall the wall clock (the far-memory round trips a real deployment
+// waits on) and write a small scratch payload. Virtual time is a pure
+// function of the structure, so every name has the same solo makespan.
+func benchStallJob(name string, stall time.Duration) *dataflow.Job {
+	j := dataflow.NewJob(name)
+	var prev *dataflow.Task
+	for i := 0; i < 3; i++ {
+		t := j.Task(fmt.Sprintf("stage%d", i), dataflow.Props{Ops: 1e5}, func(ctx dataflow.Ctx) error {
+			scratch, err := ctx.Scratch("buf", 4<<10)
+			if err != nil {
+				return err
+			}
+			now, err := scratch.WriteAt(ctx.Now(), 0, make([]byte, 4<<10))
+			if err != nil {
+				return err
+			}
+			ctx.Wait(now)
+			time.Sleep(stall)
+			ctx.Charge(1e5)
+			return nil
+		})
+		if prev != nil {
+			prev.Then(t)
+		}
+		prev = t
+	}
+	return j
+}
+
+// benchJobNames picks jobCount names whose consistent-hash assignment is
+// even on both the 2-shard and the 4-shard ring, so the scaling curve
+// measures the architecture, not one unlucky key draw. Deterministic: the
+// ring point set is fixed, so the scan always selects the same names.
+func benchJobNames(jobCount, vnodes int) []string {
+	ring2 := buildRing([]string{"shard0", "shard1"}, nil, vnodes)
+	ring4 := buildRing([]string{"shard0", "shard1", "shard2", "shard3"}, nil, vnodes)
+	alive := func(int) bool { return true }
+	var names []string
+	count2 := make([]int, 2)
+	count4 := make([]int, 4)
+	for i := 0; len(names) < jobCount && i < 65536; i++ {
+		name := fmt.Sprintf("sj-%d", i)
+		sig := Signature(benchStallJob(name, 0))
+		b2, b4 := ring2.successor(sig, alive), ring4.successor(sig, alive)
+		if count2[b2] >= jobCount/2 || count4[b4] >= jobCount/4 {
+			continue
+		}
+		count2[b2]++
+		count4[b4]++
+		names = append(names, name)
+	}
+	return names
+}
+
+// BenchmarkServeSharded is the scaling acceptance benchmark: a fixed
+// 16-job wave served by 1, 2, and 4 shards, each shard a single-worker
+// core.Server over its own runtime and epoch pool. One shard drains the
+// wave serially; N shards overlap the stages' wall-clock stalls N ways, so
+// admitted jobs/s scales with the shard count (gated ≥1.7× at 2 shards,
+// ≥3× at 4 by bench-smoke). On the first iteration of every shard count,
+// each report is asserted byte-identical to the job's solo Workers=1 run —
+// horizontal scale never buys back determinism.
+func BenchmarkServeSharded(b *testing.B) {
+	const (
+		jobCount = 16
+		stall    = 2 * time.Millisecond
+		vnodes   = 64
+	)
+	names := benchJobNames(jobCount, vnodes)
+	if len(names) != jobCount {
+		b.Fatalf("selected %d balanced job names, want %d", len(names), jobCount)
+	}
+	solo := make(map[string]string, jobCount)
+	for _, n := range names {
+		solo[n] = soloReport(b, benchStallJob(n, stall)).String()
+	}
+
+	var baseJobsPerSec float64
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := NewCluster(Config{
+				Shards: shards,
+				VNodes: vnodes,
+				Server: core.ServerConfig{
+					EpochWorkers: 1, MaxBatch: 1, QueueDepth: 2 * jobCount, Block: true,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close(context.Background()) //nolint:errcheck
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tks := make([]*core.Ticket, jobCount)
+				for k, n := range names {
+					tk, err := c.SubmitAsync(context.Background(), benchStallJob(n, stall))
+					if err != nil {
+						b.Fatal(err)
+					}
+					tks[k] = tk
+				}
+				for k, tk := range tks {
+					rep, err := tk.Wait(context.Background())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						if got := rep.String(); got != solo[names[k]] {
+							b.Fatalf("%s: sharded report diverges from solo:\n got: %s\nwant: %s", names[k], got, solo[names[k]])
+						}
+					}
+				}
+			}
+			jobsPerSec := float64(b.N*jobCount) / b.Elapsed().Seconds()
+			b.ReportMetric(jobsPerSec, "jobs/s")
+			if shards == 1 {
+				baseJobsPerSec = jobsPerSec
+			} else if baseJobsPerSec > 0 {
+				b.ReportMetric(jobsPerSec/baseJobsPerSec, "speedup")
+			}
+		})
+	}
+}

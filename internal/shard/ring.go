@@ -1,0 +1,104 @@
+// Package shard scales the serving engine horizontally: a front-end Cluster
+// consistent-hashes submissions across N core.Server shards, each backed by
+// its own runtime and epoch pool, over the disaggregated memory fabric
+// (internal/cluster). The paper's deployment story — and MIND's argument
+// that routing and memory-management logic belongs in the network layer
+// between compute and memory nodes — shows up in three places:
+//
+//   - routing state (the hash ring) is derived only from membership, so any
+//     front end computes the same assignment (Signature → shard) without
+//     coordination;
+//   - every admission is recorded in the home shard's ledger slab through a
+//     one-sided fabric Write, so cross-shard traffic is priced (and
+//     attributable per node via cluster.NodeStats);
+//   - slab ownership lives in the fabric control plane (cluster.Lease /
+//     Handoff), so when a shard dies a survivor adopts its ledger with a
+//     single control-plane CAS — no agreement with the dead node needed —
+//     and in-flight jobs are re-routed, resuming from whatever the dead
+//     shard checkpointed (partial replay across shards).
+//
+// Each shard keeps the engine's core invariant: virtual-time reports are
+// byte-identical to solo Runtime.Run at any shard count, worker count, or
+// failover history (a re-routed job re-plans against the survivor's idle
+// epoch exactly as it would have at home).
+package shard
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/dataflow"
+)
+
+// Signature is the routing key of a job: an FNV-64a hash over the job name
+// and its task IDs in declaration order. Two structurally identical
+// submissions route to the same shard; the signature is independent of
+// membership, so the ring — not the key — absorbs shard failures.
+func Signature(job *dataflow.Job) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, job.Name())
+	for _, t := range job.Tasks() {
+		h.Write([]byte{0})
+		io.WriteString(h, t.ID())
+	}
+	return h.Sum64()
+}
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ring is a weighted consistent-hash circle: shard i contributes
+// weight[i]×vnodes points, so capacity-weighted shards absorb
+// proportionally more of the key space, and the loss of one shard spreads
+// its keys across all survivors instead of dumping them on one neighbor.
+type ring struct {
+	points []ringPoint
+}
+
+// buildRing hashes every shard's virtual nodes onto the circle. The point
+// set depends only on (names, weights, vnodes), never on liveness: routing
+// under failure walks the same circle and skips dead shards, which is what
+// makes assignments reproducible for a given membership.
+func buildRing(names []string, weights []int, vnodes int) *ring {
+	r := &ring{}
+	for i, name := range names {
+		w := 1
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		for v := 0; v < w*vnodes; v++ {
+			h := fnv.New64a()
+			io.WriteString(h, name)
+			h.Write([]byte{'#', byte(v), byte(v >> 8), byte(v >> 16)})
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// successor returns the first alive shard at or after key on the circle,
+// or -1 when no alive shard exists. alive(i) reports shard i's health.
+func (r *ring) successor(key uint64, alive func(int) bool) int {
+	n := len(r.points)
+	if n == 0 {
+		return -1
+	}
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= key })
+	for i := 0; i < n; i++ {
+		p := r.points[(start+i)%n]
+		if alive(p.shard) {
+			return p.shard
+		}
+	}
+	return -1
+}
