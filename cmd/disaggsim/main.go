@@ -72,6 +72,9 @@ func main() {
 	execWorkers := flag.Int("execworkers", 0, "wavefront executor pool size per run (0 = GOMAXPROCS); virtual time is identical for every value")
 	shards := flag.Int("shards", 1, "serve mode: consistent-hash submissions across this many server shards (each with its own runtime; -placer does not apply)")
 	crashShard := flag.Int("crash", -1, "serve mode with -shards: crash this shard mid-stream to demonstrate re-route/failover")
+	streamMode := flag.Bool("stream", false, "serve the streaming workload window by window through Server.SubmitStream (see -windows, -crashwindow)")
+	streamWindows := flag.Int("windows", 8, "stream mode: windows in the synthetic stream")
+	crashWindow := flag.Int("crashwindow", -1, "stream mode with -recover: cancel the stream after this many retired windows, then resume it from checkpoints")
 	flag.Parse()
 
 	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
@@ -116,7 +119,7 @@ func main() {
 		case "hpc":
 			return workload.HPC(workload.DefaultHPC()), nil
 		case "streaming":
-			return workload.Streaming(workload.DefaultStreaming()), nil
+			return workload.StreamWindow(workload.DefaultStream(), 0), nil
 		case "graph":
 			return workload.Graph(workload.DefaultGraph()), nil
 		default:
@@ -135,6 +138,23 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *streamMode {
+		if err := serveStream(rt, tel, streamOpts{
+			windows: *streamWindows, workers: *workers,
+			queueDepth: *queueDepth, maxBatch: *maxBatch,
+			crashWindow: *crashWindow, recover: *recover,
+			partialReplay: *partialReplay, maxAttempts: *maxAttempts,
+		}); err != nil {
+			fatal(err)
+		}
+		if *profile {
+			fmt.Println()
+			fmt.Print(tel.Report())
+		}
+		writeTrace(tel, *traceOut)
+		return
 	}
 
 	if *serve && *shards > 1 {
@@ -212,7 +232,7 @@ func main() {
 	case "hpc":
 		job = workload.HPC(workload.DefaultHPC())
 	case "streaming":
-		job = workload.Streaming(workload.DefaultStreaming())
+		job = workload.StreamWindow(workload.DefaultStream(), 0)
 	case "graph":
 		job = workload.Graph(workload.DefaultGraph())
 	default:

@@ -11,10 +11,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/sched"
-	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -57,7 +57,7 @@ func serveSharded(buildJob func(string) (*dataflow.Job, error), o shardServeOpts
 			MaxAttempts: o.maxAttempts, PartialReplay: o.partialReplay,
 		}
 	}
-	c, err := shard.NewCluster(shard.Config{
+	c, err := repro.NewCluster(repro.ClusterConfig{
 		Shards: o.shards, Server: scfg, TrackLoad: true,
 	})
 	if err != nil {

@@ -29,9 +29,9 @@ import (
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/loadgen"
-	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -77,7 +77,7 @@ func main() {
 	}
 
 	var first *loadgen.Result
-	var firstStats []shard.ShardStats
+	var firstStats []repro.ShardStats
 	for rep := 0; rep < *repeat; rep++ {
 		res, stats, err := runOnce(cfg, *shards, *workers, *maxBatch, *queue, *downTier, *scaleMax, *scaleTarget)
 		if err != nil {
@@ -139,10 +139,10 @@ func main() {
 	}
 }
 
-// runOnce builds a fresh serving stack — one server, or a shard.Cluster
+// runOnce builds a fresh serving stack — one server, or a repro.Cluster
 // when shards > 1 — replays the traffic, and tears the stack down. Sharded
 // runs also return the per-shard routing/admission stats.
-func runOnce(cfg loadgen.Config, shards, workers, maxBatch, queue int, downTier bool, scaleMax int, scaleTarget time.Duration) (*loadgen.Result, []shard.ShardStats, error) {
+func runOnce(cfg loadgen.Config, shards, workers, maxBatch, queue int, downTier bool, scaleMax int, scaleTarget time.Duration) (*loadgen.Result, []repro.ShardStats, error) {
 	scfg := core.ServerConfig{
 		EpochWorkers: workers, MaxBatch: maxBatch, QueueDepth: queue,
 		Block: true,
@@ -157,11 +157,11 @@ func runOnce(cfg loadgen.Config, shards, workers, maxBatch, queue int, downTier 
 
 	var (
 		target loadgen.Target
-		stats  func() []shard.ShardStats
+		stats  func() []repro.ShardStats
 		closer func(context.Context) error
 	)
 	if shards > 1 {
-		c, err := shard.NewCluster(shard.Config{Shards: shards, Server: scfg, TrackLoad: true})
+		c, err := repro.NewCluster(repro.ClusterConfig{Shards: shards, Server: scfg, TrackLoad: true})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -175,7 +175,7 @@ func runOnce(cfg loadgen.Config, shards, workers, maxBatch, queue int, downTier 
 	}
 
 	res, err := loadgen.Run(context.Background(), target, cfg)
-	var shardStats []shard.ShardStats
+	var shardStats []repro.ShardStats
 	if stats != nil {
 		shardStats = stats() // before Close: Stats reads the live fabric
 	}
@@ -196,7 +196,7 @@ func runOnce(cfg loadgen.Config, shards, workers, maxBatch, queue int, downTier 
 }
 
 // printShards renders the per-shard routing/admission ledger.
-func printShards(stats []shard.ShardStats) {
+func printShards(stats []repro.ShardStats) {
 	for _, st := range stats {
 		fmt.Printf("  shard %-7s admitted=%d best-effort=%d rejected-slo=%d rejected-queue=%d slo-missed=%d sig=%s est-work=%v fabric=%dv/%dB\n",
 			st.Name, st.Admitted, st.BestEffort, st.RejectedSLO, st.RejectedQueue,

@@ -14,6 +14,8 @@ import (
 	"repro/internal/props"
 	"repro/internal/region"
 	"repro/internal/sched"
+	"repro/internal/shard"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -102,6 +104,18 @@ type (
 	// Ticket is an asynchronous submission's handle: Done/Wait/ID
 	// (Server.SubmitAsync).
 	Ticket = core.Ticket
+	// SubmitOptions is the unified per-submission surface accepted by
+	// Submit, SubmitAsync, and SubmitStream (at most one per call):
+	// admission inputs, tiering, resume, pre-admission, shard labeling.
+	SubmitOptions = core.SubmitOptions
+	// BatchMode selects how the serving pool forms virtual-time epochs
+	// (ServerConfig.Batching).
+	BatchMode = core.BatchMode
+	// SLOPolicy makes admission deadline-aware (ServerConfig.SLO).
+	SLOPolicy = core.SLOPolicy
+	// AutoScalePolicy grows/shrinks the live worker pool against observed
+	// queue-wait p99 (ServerConfig.AutoScale).
+	AutoScalePolicy = core.AutoScalePolicy
 	// RecoveryPolicy makes served jobs fault-tolerant: checkpointed task
 	// outputs, bounded retries, virtual-time backoff (ServerConfig.Recovery).
 	// Set PartialReplay to restore checkpoint payloads lazily on retries;
@@ -134,6 +148,8 @@ type (
 	Fabric = cluster.Fabric
 	// FabricConfig tunes the simulated fabric.
 	FabricConfig = cluster.Config
+	// ErasureConfig tunes the Carbink-style erasure-coded store.
+	ErasureConfig = fault.ErasureConfig
 )
 
 var (
@@ -141,6 +157,8 @@ var (
 	NewFabric = cluster.NewFabric
 	// NewReplicatedStore keeps k full copies of each object.
 	NewReplicatedStore = fault.NewReplicatedStore
+	// NewErasureStore stripes objects RS(data+parity) across fabric nodes.
+	NewErasureStore = fault.NewErasureStore
 	// NewFaultInjector fails the first `kills` executions of a seeded
 	// `rate` fraction of task sites.
 	NewFaultInjector = fault.NewInjector
@@ -151,12 +169,81 @@ var (
 // NewServer builds and starts a concurrent job-submission engine.
 var NewServer = core.NewServer
 
+// Epoch batching modes (ServerConfig.Batching).
+const (
+	// BatchOverlapped lets one worker batch several queued jobs into a
+	// shared epoch (the serving default).
+	BatchOverlapped = core.BatchOverlapped
+	// BatchSequential runs one job per epoch — the debugging/baseline mode
+	// previously spelled ServerConfig.Sequential.
+	BatchSequential = core.BatchSequential
+)
+
 // Serving-layer errors.
 var (
 	// ErrQueueFull reports a rejected submission (non-blocking admission).
 	ErrQueueFull = core.ErrQueueFull
 	// ErrServerClosed reports a submission after Close.
 	ErrServerClosed = core.ErrServerClosed
+	// ErrDeadline reports an SLO rejection: predicted completion exceeds
+	// the submission's deadline and the policy does not down-tier.
+	ErrDeadline = core.ErrDeadline
+	// ErrStreamCanceled is the terminal error of a canceled stream
+	// (StreamTicket.Cancel or its submission context ending).
+	ErrStreamCanceled = core.ErrStreamCanceled
+)
+
+// Streaming dataflows (Server.SubmitStream): an unbounded source cut into
+// bounded windows, each window an ordinary job stamped from the spec's
+// template and executed on the serving pool.
+type (
+	// StreamSpec declares a streaming dataflow: source, window size, the
+	// per-window task graph, key partitioning, and the in-flight bound.
+	StreamSpec = stream.Spec
+	// StreamEvent is one element of a stream: a partition key plus payload.
+	StreamEvent = stream.Event
+	// StreamSource produces a stream's events in order.
+	StreamSource = stream.Source
+	// StreamSourceFunc adapts a function to the StreamSource interface.
+	StreamSourceFunc = stream.SourceFunc
+	// StreamWindow is one bounded slice of the stream, handed to the
+	// spec's Build callback.
+	StreamWindow = stream.Window
+	// StreamTicket is a live streaming submission: per-window reports,
+	// watermark, Cancel (simulated crash), Drain.
+	StreamTicket = core.StreamTicket
+	// JobTemplate stamps numbered job instances from a shared builder —
+	// what a StreamSpec's windows are instantiated from.
+	JobTemplate = dataflow.Template
+)
+
+// NewSliceSource replays a fixed event slice — the deterministic test and
+// resume source. Hand each stream run a fresh source.
+var NewSliceSource = stream.NewSliceSource
+
+// Sharded serving (multi-server routing front end).
+type (
+	// Cluster is the sharded serving front end: submissions routed by
+	// consistent hash of the job signature, with failover replay across
+	// shards when recovery is configured.
+	Cluster = shard.Cluster
+	// ClusterConfig assembles a Cluster; zero fields get serving defaults.
+	ClusterConfig = shard.Config
+	// ClusterShard is one serving shard of a Cluster.
+	ClusterShard = shard.Shard
+	// ShardStats is one shard's routing, admission, and fabric accounting.
+	ShardStats = shard.ShardStats
+)
+
+// Sharded-serving constructors and errors.
+var (
+	// NewCluster builds the fabric, the shards, and the routing ring; the
+	// cluster is serving when it returns.
+	NewCluster = shard.NewCluster
+	// ErrNoShards means no alive shard remains to route or re-route to.
+	ErrNoShards = shard.ErrNoShards
+	// ErrClusterClosed reports a cluster submission after Close started.
+	ErrClusterClosed = shard.ErrClosed
 )
 
 // Testbeds.

@@ -124,7 +124,7 @@ func TestRunAllDeterministic(t *testing.T) {
 		rt := newRuntime(t)
 		jobs := []*dataflow.Job{
 			workload.DBMS(workload.DefaultDBMS()),
-			workload.Streaming(workload.DefaultStreaming()),
+			workload.StreamWindow(workload.DefaultStream(), 0),
 		}
 		rep, err := rt.RunAll(jobs, MultiConfig{})
 		if err != nil {
@@ -153,7 +153,7 @@ func BenchmarkRunAllJobMix(b *testing.B) {
 		jobs := []*dataflow.Job{
 			workload.Hospital(workload.DefaultHospital()),
 			workload.DBMS(workload.DefaultDBMS()),
-			workload.Streaming(workload.DefaultStreaming()),
+			workload.StreamWindow(workload.DefaultStream(), 0),
 		}
 		if _, err := rt.RunAll(jobs, MultiConfig{}); err != nil {
 			b.Fatal(err)

@@ -31,7 +31,7 @@ func TestRackRunsCPUWorkloads(t *testing.T) {
 	for _, job := range []*dataflow.Job{
 		workload.DBMS(workload.DefaultDBMS()),
 		workload.HPC(workload.DefaultHPC()),
-		workload.Streaming(workload.DefaultStreaming()),
+		workload.StreamWindow(workload.DefaultStream(), 0),
 	} {
 		rep, err := rt.Run(job)
 		if err != nil {

@@ -166,7 +166,7 @@ func TestHPCAndStreamingEndToEnd(t *testing.T) {
 	rt := newRuntime(t)
 	for _, job := range []*dataflow.Job{
 		workload.HPC(workload.DefaultHPC()),
-		workload.Streaming(workload.DefaultStreaming()),
+		workload.StreamWindow(workload.DefaultStream(), 0),
 	} {
 		rep, err := rt.Run(job)
 		if err != nil {

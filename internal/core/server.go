@@ -88,13 +88,19 @@ type ServerConfig struct {
 	// and launches immediately. A positive linger trades a bounded amount
 	// of queue wait for fuller batches.
 	MaxLinger time.Duration
-	// Sequential selects the legacy batch mode: members execute
-	// job-after-job over shared core clocks and epoch backlog, each
-	// queueing behind its predecessors (RunAll semantics — virtual
-	// contention inside the batch). The default (false) overlaps whole
-	// jobs on the batch's shared worker pool with virtual isolation: every
-	// member's virtual-time report is computed as if it ran alone, and
-	// batch mates contend only for wall-clock resources.
+	// Batching selects how a batch's members execute. BatchOverlapped (the
+	// zero value) overlaps whole jobs on the batch's shared worker pool
+	// with virtual isolation: every member's virtual-time report is
+	// computed as if it ran alone, and batch mates contend only for
+	// wall-clock resources. BatchSequential is the legacy mode: members
+	// execute job-after-job over shared core clocks and epoch backlog,
+	// each queueing behind its predecessors (RunAll semantics — virtual
+	// contention inside the batch).
+	Batching BatchMode
+	// Sequential is the legacy spelling of Batching == BatchSequential.
+	//
+	// Deprecated: compatibility alias, equivalent to setting Batching to
+	// BatchSequential (either selects the sequential mode).
 	Sequential bool
 	// Recovery, when set, makes every admitted job run fault-tolerantly:
 	// task outputs are checkpointed into the policy's store and a failed
@@ -116,6 +122,19 @@ type ServerConfig struct {
 	// it never alters admission decisions or virtual-time reports.
 	AutoScale *AutoScalePolicy
 }
+
+// BatchMode selects how a serving batch's members execute
+// (ServerConfig.Batching).
+type BatchMode int
+
+const (
+	// BatchOverlapped (default) overlaps whole jobs on the batch's shared
+	// worker pool with per-member virtual isolation.
+	BatchOverlapped BatchMode = iota
+	// BatchSequential executes members job-after-job with virtual
+	// contention inside the batch (RunAll semantics).
+	BatchSequential
+)
 
 // RecoveryPolicy configures fault-tolerant serving (ServerConfig.Recovery).
 type RecoveryPolicy struct {
@@ -348,7 +367,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		maxBatch:   maxBatch,
 		block:      cfg.Block,
 		maxLinger:  cfg.MaxLinger,
-		sequential: cfg.Sequential,
+		sequential: cfg.Sequential || cfg.Batching == BatchSequential,
 		rec:        rec,
 		queue:      make(chan *jobTicket, depth),
 	}
@@ -381,6 +400,19 @@ func (s *Server) Checkpointer() *Checkpointer {
 	return s.rec.ck
 }
 
+// resolveOpts folds a variadic options list into the single effective
+// SubmitOptions — the unified submission surface accepts at most one.
+func resolveOpts(opts []SubmitOptions) (SubmitOptions, error) {
+	switch len(opts) {
+	case 0:
+		return SubmitOptions{}, nil
+	case 1:
+		return opts[0], nil
+	default:
+		return SubmitOptions{}, errors.New("core: at most one SubmitOptions per submission")
+	}
+}
+
 // SubmitAsync admits a job without waiting for it to execute: it returns a
 // Ticket as soon as the job is queued, or an admission error (a validation
 // failure, ErrQueueFull, ErrServerClosed, ErrDeadline under an SLO policy,
@@ -389,16 +421,33 @@ func (s *Server) Checkpointer() *Checkpointer {
 // as with Submit: a job canceled while queued is never executed; one
 // canceled mid-run is stopped at the next task boundary and its regions are
 // released. The outcome is retrieved via the ticket (Done, Wait).
-func (s *Server) SubmitAsync(ctx context.Context, job *dataflow.Job) (*Ticket, error) {
-	return s.SubmitAsyncOpts(ctx, job, SubmitOptions{})
+//
+// At most one SubmitOptions may be passed — the whole per-submission
+// surface in one place: virtual arrival and deadline for the SLO admission
+// model, forced best-effort tiering, the shard label, an external
+// checkpoint namespace to resume from, and pre-admission. Traffic
+// harnesses submit through the options so replayed arrival sequences make
+// identical admission decisions run-to-run. Submit and SubmitStream accept
+// the same options; omitted options mean a plain submission.
+func (s *Server) SubmitAsync(ctx context.Context, job *dataflow.Job, opts ...SubmitOptions) (*Ticket, error) {
+	opt, err := resolveOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitAsync(ctx, job, opt)
 }
 
-// SubmitAsyncOpts is SubmitAsync with explicit admission inputs: the
-// submission's virtual arrival time and per-job deadline for the SLO
-// admission model (both ignored without ServerConfig.SLO). Traffic
-// harnesses submit through this entry so replayed arrival sequences make
-// identical admission decisions run-to-run.
+// SubmitAsyncOpts is SubmitAsync with exactly one explicit SubmitOptions.
+//
+// Deprecated: pass the options directly to SubmitAsync, which now accepts
+// them variadically. Kept as a thin compatibility wrapper.
 func (s *Server) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt SubmitOptions) (*Ticket, error) {
+	return s.submitAsync(ctx, job, opt)
+}
+
+// submitAsync is the single admission path behind Submit, SubmitAsync,
+// SubmitAsyncOpts, and (per window) SubmitStream.
+func (s *Server) submitAsync(ctx context.Context, job *dataflow.Job, opt SubmitOptions) (*Ticket, error) {
 	if job == nil {
 		return nil, errors.New("core: nil job")
 	}
@@ -439,6 +488,12 @@ func (s *Server) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt Sub
 			s.rt.tel.Add(telemetry.LayerRuntime, "server_downtiered", 1)
 		}
 	}
+	if opt.BestEffort && !t.bestEffort {
+		// Forced tiering outside the SLO path (no policy, or pre-admitted):
+		// the submission still runs and is marked best-effort.
+		t.bestEffort = true
+		t.tk.bestEffort = true
+	}
 
 	s.gate.RLock()
 	if s.closed {
@@ -471,10 +526,11 @@ func (s *Server) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt Sub
 
 // Submit admits a job and blocks until its report is ready, admission is
 // refused (ErrQueueFull, ErrServerClosed), or ctx ends. A nil ctx means
-// context.Background(). It is exactly SubmitAsync followed by Wait on the
-// same context.
-func (s *Server) Submit(ctx context.Context, job *dataflow.Job) (*Report, error) {
-	tk, err := s.SubmitAsync(ctx, job)
+// context.Background(). It is exactly SubmitAsync — same unified options
+// surface, at most one SubmitOptions — followed by Wait on the same
+// context.
+func (s *Server) Submit(ctx context.Context, job *dataflow.Job, opts ...SubmitOptions) (*Report, error) {
+	tk, err := s.SubmitAsync(ctx, job, opts...)
 	if err != nil {
 		return nil, err
 	}

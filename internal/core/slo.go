@@ -53,7 +53,12 @@ type SLOPolicy struct {
 	Workers int
 }
 
-// SubmitOptions carries per-submission admission inputs (SubmitAsyncOpts).
+// SubmitOptions is the unified per-submission surface shared by Submit,
+// SubmitAsync, and SubmitStream (each accepts at most one): admission
+// inputs for the SLO model (Arrival, Deadline), tiering (BestEffort),
+// resume (ResumeID), pre-admission (Preadmitted), and the shard label
+// sharded routers stamp on reports (Shard). The zero value is a plain
+// submission.
 type SubmitOptions struct {
 	// Arrival is the submission's virtual arrival time on the server's
 	// admission clock. Zero (or any value behind the clock) means "now":
@@ -64,6 +69,13 @@ type SubmitOptions struct {
 	// Deadline overrides SLOPolicy.Deadline for this submission; zero keeps
 	// the policy default.
 	Deadline time.Duration
+	// BestEffort forces the submission down to the best-effort tier: under
+	// an SLO policy it is admitted (and occupies model capacity) even when
+	// the predicted sojourn misses its deadline, exactly as a DownTier
+	// policy would admit it; without a policy it merely marks the ticket
+	// and report. Best-effort submissions are excluded from the
+	// SLO-attainment population either way.
+	BestEffort bool
 	// Shard labels the serving shard handling this submission. Purely
 	// informational: it is copied to Report.Shard (which String() omits, so
 	// sharded reports stay byte-identical to solo runs).
@@ -147,6 +159,12 @@ func (m *sloState) admit(opt SubmitOptions, estimate time.Duration) (wait, predi
 	}
 	wait = start - arrival
 	predicted = wait + estimate
+	if opt.BestEffort {
+		// Forced down-tier: never rejected, but it runs, so it occupies
+		// model capacity like any admitted submission.
+		m.freeAt[best] = start + estimate
+		return wait, predicted, tierBestEffort
+	}
 	if deadline > 0 && predicted > deadline && !m.pol.DownTier {
 		return wait, predicted, tierRejected
 	}

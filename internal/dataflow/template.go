@@ -1,0 +1,36 @@
+package dataflow
+
+import "fmt"
+
+// Template stamps out numbered instances of one job shape. Streaming uses
+// it to instantiate a bounded window sub-DAG per source window; any caller
+// that repeatedly submits the same graph under instance-numbered names can
+// use it the same way.
+//
+// A Template is pure structure: Instantiate builds a fresh Job every call,
+// so instances never share Task pointers and may be submitted, retried,
+// and released independently.
+type Template struct {
+	// Name is the instance-name format. It must contain exactly one %d
+	// verb (width modifiers allowed, e.g. "etl/w%06d"), which receives the
+	// instance number.
+	Name string
+	// Build populates one instance's task graph. It receives the empty job
+	// (already named) and the instance number.
+	Build func(j *Job, instance int) error
+}
+
+// Instantiate builds, populates, and validates instance n of the template.
+func (t Template) Instantiate(n int) (*Job, error) {
+	if t.Build == nil {
+		return nil, fmt.Errorf("dataflow: template %q has no Build", t.Name)
+	}
+	j := NewJob(fmt.Sprintf(t.Name, n))
+	if err := t.Build(j, n); err != nil {
+		return nil, fmt.Errorf("dataflow: building %s: %w", j.Name(), err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("dataflow: template instance %s: %w", j.Name(), err)
+	}
+	return j, nil
+}

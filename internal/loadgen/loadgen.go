@@ -42,7 +42,7 @@ import (
 // topology/scheduler used to price sample jobs (deriveRate) and the
 // telemetry registry the queue-wait histogram is read from.
 type Target interface {
-	SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt core.SubmitOptions) (*core.Ticket, error)
+	SubmitAsync(ctx context.Context, job *dataflow.Job, opts ...core.SubmitOptions) (*core.Ticket, error)
 	Runtime() *core.Runtime
 }
 
@@ -366,7 +366,7 @@ func Run(ctx context.Context, srv Target, cfg Config) (*Result, error) {
 			}
 		}
 		res.Submitted++
-		tk, err := srv.SubmitAsyncOpts(ctx, job, core.SubmitOptions{Arrival: at, Deadline: c2.Deadline})
+		tk, err := srv.SubmitAsync(ctx, job, core.SubmitOptions{Arrival: at, Deadline: c2.Deadline})
 		switch {
 		case err == nil && tk.BestEffort():
 			sig.Write([]byte{'B'})

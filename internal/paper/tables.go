@@ -178,7 +178,7 @@ func Table3() (*Artifact, error) {
 		{"DBMS", func() (*core.Report, error) { return rt.Run(workload.DBMS(workload.DefaultDBMS())) }},
 		{"ML/AI", func() (*core.Report, error) { return rt.Run(workload.ML(workload.DefaultML())) }},
 		{"HPC", func() (*core.Report, error) { return rt.Run(workload.HPC(workload.DefaultHPC())) }},
-		{"Streaming", func() (*core.Report, error) { return rt.Run(workload.Streaming(workload.DefaultStreaming())) }},
+		{"Streaming", func() (*core.Report, error) { return rt.Run(workload.StreamWindow(workload.DefaultStream(), 0)) }},
 	} {
 		rep, err := build.run()
 		if err != nil {

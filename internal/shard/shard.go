@@ -495,7 +495,7 @@ func (sh *Shard) submit(ctx context.Context, job *dataflow.Job, opt core.SubmitO
 		sh.mu.Unlock()
 		cancel()
 	}
-	tk, err := sh.srv.SubmitAsyncOpts(mctx, job, opt)
+	tk, err := sh.srv.SubmitAsync(mctx, job, opt)
 	if err != nil {
 		cleanup()
 		return nil, nil, err
@@ -503,21 +503,41 @@ func (sh *Shard) submit(ctx context.Context, job *dataflow.Job, opt core.SubmitO
 	return tk, cleanup, nil
 }
 
-// SubmitAsync routes and admits a job with default options.
-func (c *Cluster) SubmitAsync(ctx context.Context, job *dataflow.Job) (*core.Ticket, error) {
-	return c.SubmitAsyncOpts(ctx, job, core.SubmitOptions{})
-}
-
-// SubmitAsyncOpts consistent-hashes the job to its home shard, records the
+// SubmitAsync consistent-hashes the job to its home shard, records the
 // admission in the shard's ledger slab (a one-sided fabric Write), and
 // submits. The returned ticket is router-owned: if the home shard dies
 // before the job completes, the router re-routes it to the ring successor
 // — resuming from the dead shard's checkpoints when recovery is on — and
 // the ticket observes the final outcome, wherever it ran.
 //
-// Admission errors (ErrDeadline, ErrQueueFull, validation) surface
-// exactly as core.Server reports them.
+// It shares core.Server's unified submission surface: at most one
+// core.SubmitOptions, whose admission inputs (arrival, deadline, tiering,
+// pre-admission) are judged by the home shard's own SLO gate. Admission
+// errors (ErrDeadline, ErrQueueFull, validation) surface exactly as
+// core.Server reports them.
+func (c *Cluster) SubmitAsync(ctx context.Context, job *dataflow.Job, opts ...core.SubmitOptions) (*core.Ticket, error) {
+	var opt core.SubmitOptions
+	switch len(opts) {
+	case 0:
+	case 1:
+		opt = opts[0]
+	default:
+		return nil, errors.New("shard: at most one SubmitOptions per submission")
+	}
+	return c.submitAsync(ctx, job, opt)
+}
+
+// SubmitAsyncOpts is SubmitAsync with exactly one explicit SubmitOptions.
+//
+// Deprecated: pass the options directly to SubmitAsync, which now accepts
+// them variadically. Kept as a thin compatibility wrapper.
 func (c *Cluster) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt core.SubmitOptions) (*core.Ticket, error) {
+	return c.submitAsync(ctx, job, opt)
+}
+
+// submitAsync is the single routed-admission path behind Submit and
+// SubmitAsync.
+func (c *Cluster) submitAsync(ctx context.Context, job *dataflow.Job, opt core.SubmitOptions) (*core.Ticket, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -582,9 +602,10 @@ func (c *Cluster) SubmitAsyncOpts(ctx context.Context, job *dataflow.Job, opt co
 	return nil, ErrNoShards
 }
 
-// Submit is SubmitAsyncOpts followed by Wait on the same context.
-func (c *Cluster) Submit(ctx context.Context, job *dataflow.Job) (*core.Report, error) {
-	tk, err := c.SubmitAsync(ctx, job)
+// Submit is SubmitAsync — same unified options surface — followed by Wait
+// on the same context.
+func (c *Cluster) Submit(ctx context.Context, job *dataflow.Job, opts ...core.SubmitOptions) (*core.Report, error) {
+	tk, err := c.SubmitAsync(ctx, job, opts...)
 	if err != nil {
 		return nil, err
 	}

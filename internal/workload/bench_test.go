@@ -48,9 +48,9 @@ func BenchmarkWorkloadHPC(b *testing.B) {
 	benchJob(b, func() *dataflow.Job { return HPC(cfg) })
 }
 
-func BenchmarkWorkloadStreaming(b *testing.B) {
-	cfg := DefaultStreaming()
-	benchJob(b, func() *dataflow.Job { return Streaming(cfg) })
+func BenchmarkWorkloadStreamWindow(b *testing.B) {
+	cfg := DefaultStream()
+	benchJob(b, func() *dataflow.Job { return StreamWindow(cfg, 0) })
 }
 
 func BenchmarkWorkloadGraph(b *testing.B) {

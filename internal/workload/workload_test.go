@@ -150,19 +150,44 @@ func TestHPCStencilConverges(t *testing.T) {
 	}
 }
 
-func TestStreamingWindowTotals(t *testing.T) {
-	cfg := DefaultStreaming()
-	rep := runJob(t, Streaming(cfg))
-	total := logOf(rep, "sink", "totalling")
-	var windows, events uint64
-	if _, err := sscan(total, "sank %d windows totalling %d events", &windows, &events); err != nil {
+func TestStreamWindowTotals(t *testing.T) {
+	cfg := DefaultStream()
+	rep := runJob(t, StreamWindow(cfg, 3))
+	total := logOf(rep, "sink", "sank")
+	var window, events, keySum uint64
+	if _, err := sscan(total, "window %d: sank %d events (key sum %d)", &window, &events, &keySum); err != nil {
 		t.Fatalf("unparsable sink log %q: %v", total, err)
 	}
-	if int(events) != cfg.Events {
-		t.Errorf("windows account for %d events, want all %d", events, cfg.Events)
+	if window != 3 {
+		t.Errorf("sink reported window %d, want 3", window)
 	}
-	if int(windows) != (cfg.Events+cfg.WindowSize-1)/cfg.WindowSize {
-		t.Errorf("windows = %d", windows)
+	if int(events) != cfg.WindowSize {
+		t.Errorf("window accounts for %d events, want all %d", events, cfg.WindowSize)
+	}
+	// Keys cycle 0..Keys-1 over a full window, so the key sum is exact.
+	full := cfg.WindowSize / cfg.Keys * (cfg.Keys * (cfg.Keys - 1) / 2)
+	if int(keySum) != full {
+		t.Errorf("key sum = %d, want %d", keySum, full)
+	}
+}
+
+func TestStreamWindowPartitionedMatchesSingle(t *testing.T) {
+	cfg := DefaultStream()
+	cfg.Partitions = 4
+	rep := runJob(t, StreamWindow(cfg, 0))
+	total := logOf(rep, "sink", "sank")
+	var window, events, keySum uint64
+	if _, err := sscan(total, "window %d: sank %d events (key sum %d)", &window, &events, &keySum); err != nil {
+		t.Fatalf("unparsable sink log %q: %v", total, err)
+	}
+	if int(events) != cfg.WindowSize {
+		t.Errorf("partitioned window accounts for %d events, want %d", events, cfg.WindowSize)
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		name := fmt.Sprintf("window-aggregate-%d", p)
+		if _, ok := rep.Tasks[name]; !ok {
+			t.Errorf("missing partition task %s", name)
+		}
 	}
 }
 
