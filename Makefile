@@ -33,7 +33,7 @@ bench:
 # fails the target when serve throughput regressed >10% vs the baseline
 # (override with BENCHGATE_TOLERANCE).
 bench-smoke: loadgen-smoke
-	@for f in BENCH_parallel.json BENCH_serve.json BENCH_recover.json BENCH_shard.json BENCH_stream.json; do \
+	@for f in BENCH_parallel.json BENCH_serve.json BENCH_recover.json BENCH_shard.json BENCH_stream.json BENCH_migrate.json; do \
 		if [ -f $$f ]; then cp $$f $${f%.json}_before.json; fi; done
 	$(GO) test -run XXX -bench 'BenchmarkWideDAGParallel|BenchmarkServeParallel' \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_parallel.json
@@ -50,11 +50,16 @@ bench-smoke: loadgen-smoke
 	$(GO) test -run XXX -bench BenchmarkStreamServe \
 		-benchtime 2x -benchmem -json ./internal/core/ > BENCH_stream.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_stream.json | head -20 || true
+	$(GO) test -run XXX -bench BenchmarkClusterRebalance \
+		-benchtime 2x -benchmem -json ./internal/shard/ > BENCH_migrate.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_migrate.json | head -20 || true
 	$(GO) run ./cmd/benchgate -baseline bench/BENCH_serve_baseline.json -current BENCH_serve.json
 	$(GO) run ./cmd/benchgate -baseline bench/BENCH_shard_baseline.json -current BENCH_shard.json \
 		-metrics jobs/s,speedup
 	$(GO) run ./cmd/benchgate -baseline bench/BENCH_stream_baseline.json -current BENCH_stream.json \
 		-metrics windows/s
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_migrate_baseline.json -current BENCH_migrate.json \
+		-metrics exported/op,recalled/op -tolerance 0
 
 # Seconds-scale fixed-seed open-loop serving smoke: 4k submissions against
 # the SLO admission gate, replayed twice — the run itself fails if the two

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmeFlagTableMatchesFlags pins the flag table README.md embeds
+// (between the disaggsim-flags markers) to the registered flag surface:
+// adding, removing, or re-describing a flag without regenerating the table
+// fails CI. On mismatch the test prints the expected table to paste.
+func TestReadmeFlagTableMatchesFlags(t *testing.T) {
+	const (
+		begin = "<!-- disaggsim-flags:begin -->"
+		end   = "<!-- disaggsim-flags:end -->"
+	)
+	raw, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(readme[i+len(begin) : j])
+	want := strings.TrimSpace(flagTable())
+	if got != want {
+		t.Errorf("README.md flag table drifted from the CLI.\nPaste this between the markers:\n\n%s", want)
+	}
+}
+
+// TestFlagDefaultsStable pins the defaults the documentation quotes.
+func TestFlagDefaultsStable(t *testing.T) {
+	table := flagTable()
+	for _, want := range []string{
+		"| `-job` | `hospital` |",
+		"| `-shards` | `1` |",
+		"| `-migrate` | `false` |",
+		"| `-stream` | `false` |",
+		"| `-crashwindow` | `-1` |",
+		"| `-windows` | `8` |",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("flag table lost row %q", want)
+		}
+	}
+}

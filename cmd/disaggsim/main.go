@@ -12,6 +12,11 @@
 //	disaggsim -serve -jobs 32 -workers 8        # admission-controlled serving
 //	disaggsim -serve -jobs hospital,dbms,ml     # serve an explicit job mix
 //	disaggsim -serve -jobs 16 -faultrate 0.5 -recover   # fault-tolerant serving
+//	disaggsim -serve -shards 2 -jobs hospital,dbms,ml,graph   # sharded serving
+//	disaggsim -serve -shards 2 -migrate         # + cross-shard region migration
+//	disaggsim -serve -shards 3 -crash 1 -recover        # failover re-route demo
+//	disaggsim -stream -windows 8                # windowed streaming dataflow
+//	disaggsim -stream -windows 8 -crashwindow 3 -recover  # resume a cut stream
 //
 // Jobs: hospital, dbms, ml, hpc, streaming, graph.
 // Schedulers: heft (default), fifo, rr.
@@ -21,6 +26,16 @@
 // number) are submitted from parallel goroutines through core.Server's
 // bounded admission queue and executed by a worker pool that batches them
 // into shared virtual-time epochs.
+//
+// With -serve -shards N, submissions are consistent-hashed across N server
+// shards over the cluster fabric; -crash K kills shard K mid-stream to
+// demonstrate failover, and -migrate runs maintenance sweeps that evict
+// cold Memory Regions into remote shards' memory pools (recalled on next
+// access — reports stay byte-identical to solo runs either way).
+//
+// With -stream, the streaming workload is served window by window through
+// Server.SubmitStream; -crashwindow W (with -recover) cancels the stream
+// after W retired windows and resumes it from the checkpoint store.
 //
 // -faultrate injects deterministic task faults (seeded by -seed) into that
 // fraction of task executions; each chosen task fails once and then
@@ -53,28 +68,7 @@ import (
 )
 
 func main() {
-	jobName := flag.String("job", "hospital", "workload: hospital|dbms|ml|hpc|streaming|graph")
-	jobList := flag.String("jobs", "", "comma-separated workloads to serve concurrently (overrides -job)")
-	schedName := flag.String("scheduler", "heft", "scheduler: heft|fifo|rr")
-	placerName := flag.String("placer", "best", "placement policy: best|first|worst|random")
-	profile := flag.Bool("profile", false, "print the cross-layer telemetry profile")
-	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file")
-	seed := flag.Int64("seed", 1, "seed for the random placer")
-	serve := flag.Bool("serve", false, "submit jobs through the admission-controlled server (see -jobs, -workers)")
-	workers := flag.Int("workers", 4, "serve mode: epoch workers in the pool")
-	queueDepth := flag.Int("queue", 64, "serve mode: admission queue depth")
-	maxBatch := flag.Int("batch", 8, "serve mode: max jobs folded into one shared epoch")
-	overlap := flag.Bool("overlap", true, "serve mode: overlap whole jobs of a batch on the shared worker pool (false = legacy job-after-job batches)")
-	recover := flag.Bool("recover", false, "checkpointed recovery: retry failed jobs, restoring completed tasks")
-	partialReplay := flag.Bool("partialreplay", false, "with -recover: restore checkpoint payloads lazily, skipping store reads no re-executed task needs")
-	faultRate := flag.Float64("faultrate", 0, "inject one deterministic fault into this fraction of task sites (0..1)")
-	maxAttempts := flag.Int("maxattempts", 3, "recovery: total runs per submission")
-	execWorkers := flag.Int("execworkers", 0, "wavefront executor pool size per run (0 = GOMAXPROCS); virtual time is identical for every value")
-	shards := flag.Int("shards", 1, "serve mode: consistent-hash submissions across this many server shards (each with its own runtime; -placer does not apply)")
-	crashShard := flag.Int("crash", -1, "serve mode with -shards: crash this shard mid-stream to demonstrate re-route/failover")
-	streamMode := flag.Bool("stream", false, "serve the streaming workload window by window through Server.SubmitStream (see -windows, -crashwindow)")
-	streamWindows := flag.Int("windows", 8, "stream mode: windows in the synthetic stream")
-	crashWindow := flag.Int("crashwindow", -1, "stream mode with -recover: cancel the stream after this many retired windows, then resume it from checkpoints")
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
 	topo, err := topology.BuildSingleNode(topology.DefaultSingleNode())
@@ -83,7 +77,7 @@ func main() {
 	}
 
 	var placer region.Placer
-	switch *placerName {
+	switch o.placer {
 	case "best":
 		placer = placement.NewBestFit(topo)
 	case "first":
@@ -91,13 +85,13 @@ func main() {
 	case "worst":
 		placer = placement.NewWorst(topo)
 	case "random":
-		placer = placement.NewRandom(topo, *seed)
+		placer = placement.NewRandom(topo, o.seed)
 	default:
-		fatal(fmt.Errorf("unknown placer %q", *placerName))
+		fatal(fmt.Errorf("unknown placer %q", o.placer))
 	}
 
 	var scheduler sched.Scheduler
-	switch *schedName {
+	switch o.scheduler {
 	case "heft":
 		scheduler = sched.HEFT{}
 	case "fifo":
@@ -105,7 +99,7 @@ func main() {
 	case "rr":
 		scheduler = sched.RoundRobin{}
 	default:
-		fatal(fmt.Errorf("unknown scheduler %q", *schedName))
+		fatal(fmt.Errorf("unknown scheduler %q", o.scheduler))
 	}
 
 	buildJob := func(name string) (*dataflow.Job, error) {
@@ -129,77 +123,77 @@ func main() {
 
 	tel := telemetry.NewRegistry()
 	var inject *fault.Injector
-	if *faultRate > 0 {
-		inject = fault.NewInjector(uint64(*seed), *faultRate, 1)
+	if o.faultRate > 0 {
+		inject = fault.NewInjector(uint64(o.seed), o.faultRate, 1)
 	}
 	rt, err := core.New(core.Config{
 		Topology: topo, Placer: placer, Scheduler: scheduler, Telemetry: tel,
-		Inject: inject, Workers: *execWorkers,
+		Inject: inject, Workers: o.execWorkers,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	if *streamMode {
+	if o.stream {
 		if err := serveStream(rt, tel, streamOpts{
-			windows: *streamWindows, workers: *workers,
-			queueDepth: *queueDepth, maxBatch: *maxBatch,
-			crashWindow: *crashWindow, recover: *recover,
-			partialReplay: *partialReplay, maxAttempts: *maxAttempts,
+			windows: o.windows, workers: o.workers,
+			queueDepth: o.queue, maxBatch: o.batch,
+			crashWindow: o.crashWindow, recover: o.recover,
+			partialReplay: o.partialReplay, maxAttempts: o.maxAttempts,
 		}); err != nil {
 			fatal(err)
 		}
-		if *profile {
+		if o.profile {
 			fmt.Println()
 			fmt.Print(tel.Report())
 		}
-		writeTrace(tel, *traceOut)
+		writeTrace(tel, o.trace)
 		return
 	}
 
-	if *serve && *shards > 1 {
+	if o.serve && o.shards > 1 {
 		if err := serveSharded(buildJob, shardServeOpts{
 			serveOpts: serveOpts{
-				jobName: *jobName, jobList: *jobList,
-				workers: *workers, queueDepth: *queueDepth, maxBatch: *maxBatch,
-				overlap: *overlap,
-				recover: *recover, partialReplay: *partialReplay,
-				maxAttempts: *maxAttempts, inject: inject,
+				jobName: o.job, jobList: o.jobs,
+				workers: o.workers, queueDepth: o.queue, maxBatch: o.batch,
+				overlap: o.overlap,
+				recover: o.recover, partialReplay: o.partialReplay,
+				maxAttempts: o.maxAttempts, inject: inject,
 			},
-			shards: *shards, crash: *crashShard,
-			scheduler: scheduler, exec: *execWorkers, tel: tel,
+			shards: o.shards, crash: o.crash, migrate: o.migrate,
+			scheduler: scheduler, exec: o.execWorkers, tel: tel,
 		}); err != nil {
 			fatal(err)
 		}
-		if *profile {
+		if o.profile {
 			fmt.Println()
 			fmt.Print(tel.Report())
 		}
-		writeTrace(tel, *traceOut)
+		writeTrace(tel, o.trace)
 		return
 	}
 
-	if *serve {
+	if o.serve {
 		if err := serveJobs(rt, tel, buildJob, serveOpts{
-			jobName: *jobName, jobList: *jobList,
-			workers: *workers, queueDepth: *queueDepth, maxBatch: *maxBatch,
-			overlap: *overlap,
-			recover: *recover, partialReplay: *partialReplay,
-			maxAttempts: *maxAttempts, inject: inject,
+			jobName: o.job, jobList: o.jobs,
+			workers: o.workers, queueDepth: o.queue, maxBatch: o.batch,
+			overlap: o.overlap,
+			recover: o.recover, partialReplay: o.partialReplay,
+			maxAttempts: o.maxAttempts, inject: inject,
 		}); err != nil {
 			fatal(err)
 		}
-		if *profile {
+		if o.profile {
 			fmt.Println()
 			fmt.Print(tel.Report())
 		}
-		writeTrace(tel, *traceOut)
+		writeTrace(tel, o.trace)
 		return
 	}
 
-	if *jobList != "" {
+	if o.jobs != "" {
 		var jobs []*dataflow.Job
-		for _, name := range strings.Split(*jobList, ",") {
+		for _, name := range strings.Split(o.jobs, ",") {
 			j, err := buildJob(strings.TrimSpace(name))
 			if err != nil {
 				fatal(err)
@@ -213,16 +207,16 @@ func main() {
 		fmt.Print(rep.String())
 		fmt.Printf("sequential baseline: %v (concurrency saves %.1f%%)\n",
 			rep.SumIsolated, 100*(1-float64(rep.Makespan)/float64(rep.SumIsolated)))
-		if *profile {
+		if o.profile {
 			fmt.Println()
 			fmt.Print(tel.Report())
 		}
-		writeTrace(tel, *traceOut)
+		writeTrace(tel, o.trace)
 		return
 	}
 
 	var job *dataflow.Job
-	switch *jobName {
+	switch o.job {
 	case "hospital":
 		job = workload.Hospital(workload.DefaultHospital())
 	case "dbms":
@@ -236,21 +230,21 @@ func main() {
 	case "graph":
 		job = workload.Graph(workload.DefaultGraph())
 	default:
-		fatal(fmt.Errorf("unknown job %q", *jobName))
+		fatal(fmt.Errorf("unknown job %q", o.job))
 	}
 
 	var rep *core.Report
-	if *recover {
+	if o.recover {
 		store, err := newCheckpointStore()
 		if err != nil {
 			fatal(err)
 		}
 		run := rt.RunWithRecovery
-		if *partialReplay {
+		if o.partialReplay {
 			run = rt.RunWithPartialReplay
 		}
 		var attempts int
-		rep, attempts, err = run(job, core.NewCheckpointer(store), *maxAttempts)
+		rep, attempts, err = run(job, core.NewCheckpointer(store), o.maxAttempts)
 		if err != nil {
 			fatal(err)
 		}
@@ -271,11 +265,11 @@ func main() {
 			fmt.Printf("  %-18s %d bytes\n", m.ID, b)
 		}
 	}
-	if *profile {
+	if o.profile {
 		fmt.Println()
 		fmt.Print(tel.Report())
 	}
-	writeTrace(tel, *traceOut)
+	writeTrace(tel, o.trace)
 }
 
 // serveOpts bundles the serve-mode flags.

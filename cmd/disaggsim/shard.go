@@ -22,7 +22,8 @@ import (
 type shardServeOpts struct {
 	serveOpts
 	shards    int
-	crash     int // shard to crash mid-stream; -1 disables
+	crash     int  // shard to crash mid-stream; -1 disables
+	migrate   bool // evict cold regions to remote shards' pools while serving
 	scheduler sched.Scheduler
 	exec      int
 	tel       *telemetry.Registry
@@ -57,11 +58,41 @@ func serveSharded(buildJob func(string) (*dataflow.Job, error), o shardServeOpts
 			MaxAttempts: o.maxAttempts, PartialReplay: o.partialReplay,
 		}
 	}
-	c, err := repro.NewCluster(repro.ClusterConfig{
-		Shards: o.shards, Server: scfg, TrackLoad: true,
-	})
+	ccfg := repro.ClusterConfig{
+		Shards: o.shards, Server: scfg, TrackLoad: true, Migrate: o.migrate,
+	}
+	if o.migrate {
+		// Demo watermark: the built-in workloads never fill a device, so
+		// evict cold regions at any utilization to make the remote path
+		// visible. Reports stay byte-identical regardless.
+		ccfg.Rebalance = repro.RebalancePolicy{EvictWatermark: 1e-9}
+	}
+	c, err := repro.NewCluster(ccfg)
 	if err != nil {
 		return err
+	}
+
+	// With -migrate, a maintenance goroutine sweeps every shard while jobs
+	// are in flight: cold regions are exported to remote shards' pools and
+	// recalled on next access. Virtual time never sees the sweeps — the
+	// per-job reports below are byte-identical with or without them.
+	stopSweeps := make(chan struct{})
+	sweepsDone := make(chan struct{})
+	if o.migrate {
+		go func() {
+			defer close(sweepsDone)
+			for {
+				select {
+				case <-stopSweeps:
+					return
+				default:
+				}
+				c.Rebalance(0) //nolint:errcheck // best-effort maintenance
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	} else {
+		close(sweepsDone)
 	}
 
 	tickets := make([]*core.Ticket, len(jobs))
@@ -92,12 +123,19 @@ func serveSharded(buildJob func(string) (*dataflow.Job, error), o shardServeOpts
 		}
 		fmt.Println(line)
 	}
+	close(stopSweeps)
+	<-sweepsDone
+	stats := c.Stats()
+	var mig repro.MigrationStats
+	if o.migrate {
+		mig = c.MigrationStats()
+	}
 	if err := c.Close(context.Background()); err != nil {
 		return err
 	}
 
 	fmt.Printf("served %d jobs across %d shards (%d workers each)\n", len(jobs)-failed, o.shards, o.workers)
-	for _, st := range c.Stats() {
+	for _, st := range stats {
 		state := "up"
 		if st.Down {
 			state = "DOWN"
@@ -105,6 +143,10 @@ func serveSharded(buildJob func(string) (*dataflow.Job, error), o shardServeOpts
 		fmt.Printf("  %-7s %-4s submitted=%d admitted=%d rerouted=%d completed=%d est-work=%v fabric: %d verbs, %d bytes\n",
 			st.Name, state, st.Submitted, st.Admitted, st.Rerouted, st.Completed,
 			time.Duration(st.EstWorkNs), st.Fabric.Verbs, st.Fabric.Bytes)
+	}
+	if o.migrate {
+		fmt.Printf("migration: %d regions exported (%d bytes), %d recalled (%d bytes), %d live remote, verb time %v\n",
+			mig.Exported, mig.BytesOut, mig.Recalled, mig.BytesBack, mig.Live, mig.VerbTime)
 	}
 	return nil
 }

@@ -43,6 +43,34 @@
 // Ticket.Wait collects the job's Report later. See
 // [ExampleServer_SubmitAsync].
 //
+// # Sharded serving and the cluster fabric
+//
+// [NewCluster] scales serving horizontally: N shards — each a full
+// Server over its own runtime — behind a consistent-hash router on the
+// one-sided [Fabric] ([NewFabric]: Read/Write/CAS verbs, leases,
+// partitions, crash faults). Submissions hash by job signature onto a
+// virtual-node ring; a crashed shard's in-flight jobs re-route to the
+// ring successor, which adopts the dead shard's fabric leases by CAS and
+// (with [RecoveryPolicy] configured) resumes from the cluster-shared
+// checkpoint store. With [ClusterConfig].Migrate, maintenance sweeps
+// ([Cluster.Rebalance], tuned by [RebalancePolicy]) evict regions that
+// go cold past the local tier hierarchy into remote shards' memory
+// pools; the next access recalls them transparently, and
+// [Cluster.MigrationStats] accounts the traffic. Reports stay
+// byte-identical to solo runs at any shard count, with or without
+// migration or failover. See [ExampleNewCluster].
+//
+// # Streaming
+//
+// [Server.SubmitStream] serves unbounded dataflows on the same engine: a
+// [StreamSpec] declares a source, a tumbling window size, and a Build
+// callback stamping each window's bounded DAG; windows are admitted like
+// ordinary jobs, retire in order on the returned [StreamTicket], and
+// advance a virtual-time watermark. Backpressure (MaxInFlight) is
+// structural and deterministic; with recovery configured, retirement
+// markers make a canceled stream resumable from its checkpoint
+// namespace. See [ExampleServer_SubmitStream].
+//
 // # Fault tolerance and recovery
 //
 // A [FaultInjector] deterministically kills chosen task executions so

@@ -134,3 +134,78 @@ func ExampleRuntime_RunWithPartialReplay() {
 	// Output:
 	// recovered in 2 attempts: 2 skipped, 1 replayed
 }
+
+// ExampleNewCluster serves a job mix on a two-shard cluster: submissions
+// are consistent-hashed across the shards over the fabric, and Migrate
+// lets maintenance sweeps evict cold regions into remote shards' memory
+// pools. Virtual makespans are a pure function of each job's DAG — the
+// same at any shard count, with or without migration.
+func ExampleNewCluster() {
+	c, err := repro.NewCluster(repro.ClusterConfig{Shards: 2, Migrate: true})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	for _, name := range []string{"etl-a", "etl-b", "etl-c"} {
+		rep, err := c.Submit(ctx, exampleJob(name))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d tasks, makespan %v\n", rep.Job, len(rep.Tasks), rep.Makespan)
+	}
+	if err := c.Close(ctx); err != nil {
+		panic(err)
+	}
+	// Output:
+	// etl-a: 3 tasks, makespan 775ns
+	// etl-b: 3 tasks, makespan 775ns
+	// etl-c: 3 tasks, makespan 775ns
+}
+
+// ExampleServer_SubmitStream serves an unbounded dataflow window by
+// window: the source is cut into tumbling windows, each window's job is
+// stamped by the Build callback and admitted like any other submission,
+// and reports retire in order while the watermark advances in virtual
+// time by each retired window's makespan.
+func ExampleServer_SubmitStream() {
+	rt, err := repro.NewRuntime(repro.RuntimeConfig{})
+	if err != nil {
+		panic(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Runtime: rt, Block: true})
+	if err != nil {
+		panic(err)
+	}
+
+	events := make([]repro.StreamEvent, 8)
+	for i := range events {
+		events[i] = repro.StreamEvent{Key: uint64(i)}
+	}
+	spec := repro.StreamSpec{
+		Name: "ticks", Source: repro.NewSliceSource(events),
+		WindowSize: 4, MaxInFlight: 2,
+		Build: func(w repro.StreamWindow, j *repro.Job) error {
+			extract := j.Task("extract", repro.TaskProps{Ops: 1e5, OutputBytes: 1 << 10}, nil)
+			load := j.Task("load", repro.TaskProps{Ops: 1e5}, nil)
+			extract.Then(load)
+			return nil
+		},
+	}
+
+	tk, err := srv.SubmitStream(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	for rep := range tk.Reports() {
+		fmt.Printf("%s retired: %d tasks, makespan %v\n", rep.Job, len(rep.Tasks), rep.Makespan)
+	}
+	<-tk.Done()
+	fmt.Printf("stream drained: %d windows, watermark %v\n", tk.Windows(), tk.Watermark())
+	if err := srv.Close(context.Background()); err != nil {
+		panic(err)
+	}
+	// Output:
+	// ticks/w000000 retired: 2 tasks, makespan 50ns
+	// ticks/w000001 retired: 2 tasks, makespan 50ns
+	// stream drained: 2 windows, watermark 100ns
+}

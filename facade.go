@@ -233,6 +233,15 @@ type (
 	ClusterShard = shard.Shard
 	// ShardStats is one shard's routing, admission, and fabric accounting.
 	ShardStats = shard.ShardStats
+	// MigrationStats counts cross-shard region traffic: regions exported to
+	// remote pools, recalled on access, bytes moved each way, fabric verb
+	// time priced into maintenance sweeps, and regions currently remote.
+	MigrationStats = cluster.RegionPoolStats
+	// RebalancePolicy tunes the maintenance sweep: promotion/demotion
+	// watermarks across the local tier hierarchy, plus the eviction
+	// watermark past which cold regions spill to remote shards' pools
+	// (ClusterConfig.Rebalance; zero value = local-only sweeps).
+	RebalancePolicy = region.RebalancePolicy
 )
 
 // Sharded-serving constructors and errors.

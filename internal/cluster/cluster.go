@@ -403,6 +403,27 @@ func (f *Fabric) Owner(id SlabID) (string, bool) {
 	return owner, ok
 }
 
+// LeasesOf lists the slabs currently leased by an owner, sorted for
+// determinism. The registry is fabric-resident, so a survivor can enumerate
+// a dead shard's holdings to adopt them.
+func (f *Fabric) LeasesOf(owner string) []SlabID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []SlabID
+	for id, o := range f.leases {
+		if o == owner {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Slab < out[j].Slab
+	})
+	return out
+}
+
 // Handoff transfers a slab lease from one owner to another — the ownership
 // half of a cross-shard region transfer. It is a compare-and-swap on the
 // control plane: it fails unless `from` currently holds the lease. Because

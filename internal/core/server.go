@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/fault"
+	"repro/internal/region"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -390,6 +391,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // Runtime returns the runtime executing the admitted jobs.
 func (s *Server) Runtime() *Runtime { return s.rt }
+
+// Rebalance runs one region-tiering sweep on the server's runtime, priced
+// inside a private epoch (region.RebalanceIn) so it is safe to call while
+// the server is serving: admitted batches never observe the sweep's device
+// backlog. With an exporter wired into the region manager (cross-shard
+// migration), the sweep may also evict cold regions to the remote pool and
+// recall hot exported ones.
+func (s *Server) Rebalance(now time.Duration, pol region.RebalancePolicy) (region.RebalanceStats, error) {
+	return s.rt.Regions().RebalanceIn(s.rt.Topology().NewEpoch(), now, pol)
+}
 
 // Checkpointer returns the recovery checkpointer, or nil when the server
 // was built without a RecoveryPolicy.

@@ -218,6 +218,18 @@ func (h *Handle) access(now time.Duration, off int64, buf []byte, write bool, pa
 			return now, err
 		}
 	}
+	// Fetch-on-read: an exported region is recalled to its home device
+	// before the access proceeds. The fabric read costs the accessor
+	// wall-clock only (the verb's virtual price lands in telemetry, like
+	// lazy hydration), and the region returns to the exact device it is
+	// priced against, so the access below is byte-identical in virtual
+	// time to a run that never exported.
+	if r.exported {
+		if _, err := h.m.recallLocked(r); err != nil {
+			h.m.mu.Unlock()
+			return now, err
+		}
+	}
 	n := int64(len(buf))
 	if err := checkRange(r, off, n); err != nil {
 		h.m.mu.Unlock()
@@ -353,6 +365,10 @@ func (h *Handle) Hydrate(off int64, data []byte) error {
 		h.m.mu.Unlock()
 		return err
 	}
+	if err := h.m.ensureLocalLocked(r); err != nil {
+		h.m.mu.Unlock()
+		return err
+	}
 	r.dataMu.Lock()
 	h.m.mu.Unlock()
 	defer r.dataMu.Unlock()
@@ -438,6 +454,10 @@ func (m *Manager) migrateToLocked(r *Region, computeID, devID string, now time.D
 	}
 	if dst.ID == r.device.ID {
 		return now, nil
+	}
+	// A local migration needs the payload resident; recall it first.
+	if err := m.ensureLocalLocked(r); err != nil {
+		return now, err
 	}
 	buddy, err := m.buddyFor(dst)
 	if err != nil {

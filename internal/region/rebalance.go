@@ -34,6 +34,16 @@ type RebalancePolicy struct {
 	// ScoreMargin is how much better (in props.Score units) a destination
 	// must be to justify moving a hot region. Default 2.
 	ScoreMargin float64
+	// EvictWatermark triggers the cross-node eviction pass: when a device's
+	// utilization still exceeds it after local demotion and the manager has
+	// an Exporter, the sweep exports the device's coldest regions to the
+	// remote pool until utilization falls to min(LowWatermark,
+	// EvictWatermark). Zero disables eviction (the default) — regions then
+	// never leave the node.
+	EvictWatermark float64
+	// EvictHeat is the maximum epoch access count an eviction victim may
+	// have: hotter regions stay local no matter the pressure. Default 1.
+	EvictHeat uint64
 }
 
 func (p RebalancePolicy) withDefaults() RebalancePolicy {
@@ -49,6 +59,9 @@ func (p RebalancePolicy) withDefaults() RebalancePolicy {
 	if p.ScoreMargin == 0 {
 		p.ScoreMargin = 2
 	}
+	if p.EvictHeat == 0 {
+		p.EvictHeat = 1
+	}
 	return p
 }
 
@@ -57,8 +70,17 @@ type RebalanceStats struct {
 	Promoted   int
 	Demoted    int
 	BytesMoved int64
+	// Exported counts regions evicted to the remote pool this pass, and
+	// Recalled the exported regions pulled home because they ran hot again;
+	// BytesExported/BytesRecalled are their payload volumes.
+	Exported      int
+	Recalled      int
+	BytesExported int64
+	BytesRecalled int64
 	// Cost is the virtual time the migrations took (background work; the
-	// caller decides whether to overlap or serialize it).
+	// caller decides whether to overlap or serialize it). Remote moves
+	// charge their fabric verb time here — the sweep's clock, never a
+	// serving job's.
 	Cost time.Duration
 }
 
@@ -133,7 +155,7 @@ func (m *Manager) RebalanceIn(clk topology.VClock, now time.Duration, pol Rebala
 		var victims []*Region
 		for _, id := range ids {
 			r := m.regions[id]
-			if r != nil && !r.freed && r.device.ID == dev.ID {
+			if r != nil && !r.freed && !r.exported && r.device.ID == dev.ID {
 				victims = append(victims, r)
 			}
 		}
@@ -165,10 +187,20 @@ func (m *Manager) RebalanceIn(clk topology.VClock, now time.Duration, pol Rebala
 	}
 
 	// Pass 2 — promotion: hot regions move when a clearly better device
-	// has room.
+	// has room. An exported region that ran hot is recalled home instead —
+	// the sweep-driven counterpart of fetch-on-read, paying the fabric
+	// verbs on the sweep's clock.
 	for _, id := range ids {
 		r := m.regions[id]
 		if r == nil || r.freed || r.heat < pol.PromoteHeat {
+			continue
+		}
+		if r.exported {
+			if cost, err := m.recallLocked(r); err == nil {
+				stats.Recalled++
+				stats.BytesRecalled += r.size
+				stats.Cost += cost
+			}
 			continue
 		}
 		comp := ownerCompute(r)
@@ -205,6 +237,47 @@ func (m *Manager) RebalanceIn(clk topology.VClock, now time.Duration, pol Rebala
 		}
 	}
 
+	// Pass 3 — eviction: a device still over the eviction watermark after
+	// local demotion has run out of local tiers for its cold set; export
+	// the coldest regions to the remote pool. Only regions at or below
+	// EvictHeat leave — the sweep never exports the working set.
+	if pol.EvictWatermark > 0 && m.exporter != nil {
+		target := pol.LowWatermark
+		if pol.EvictWatermark < target {
+			target = pol.EvictWatermark
+		}
+		for _, dev := range m.topo.Memories() {
+			if dev.HardwareManaged || dev.Utilization() <= pol.EvictWatermark {
+				continue
+			}
+			var victims []*Region
+			for _, id := range ids {
+				r := m.regions[id]
+				if r != nil && !r.freed && !r.exported && r.device.ID == dev.ID && r.heat <= pol.EvictHeat {
+					victims = append(victims, r)
+				}
+			}
+			sort.Slice(victims, func(i, j int) bool {
+				if victims[i].heat != victims[j].heat {
+					return victims[i].heat < victims[j].heat
+				}
+				return victims[i].id < victims[j].id
+			})
+			for _, r := range victims {
+				if dev.Utilization() <= target {
+					break
+				}
+				cost, err := m.exportLocked(r)
+				if err != nil {
+					break // pool out of capacity; stop hammering this device
+				}
+				stats.Exported++
+				stats.BytesExported += r.size
+				stats.Cost += cost
+			}
+		}
+	}
+
 	// Decay heat.
 	for _, id := range ids {
 		if r := m.regions[id]; r != nil {
@@ -213,6 +286,8 @@ func (m *Manager) RebalanceIn(clk topology.VClock, now time.Duration, pol Rebala
 	}
 	m.reg.Add(telemetry.LayerPlacement, "rebalance_promotions", int64(stats.Promoted))
 	m.reg.Add(telemetry.LayerPlacement, "rebalance_demotions", int64(stats.Demoted))
+	m.reg.Add(telemetry.LayerPlacement, "rebalance_exports", int64(stats.Exported))
+	m.reg.Add(telemetry.LayerPlacement, "rebalance_recalls", int64(stats.Recalled))
 	return stats, nil
 }
 

@@ -139,6 +139,13 @@ type Region struct {
 	// with lower ranks are unknowable there, so fencing falls back to the
 	// full rank barrier whenever it is set.
 	openShared bool
+	// exported marks a region whose payload currently lives in the remote
+	// pool (export.go): the local buddy space, device reservation, and
+	// backing are released, and token names the remote placement. The
+	// region keeps r.device as its pricing identity and recall target, so
+	// virtual access costs never depend on whether it was away.
+	exported bool
+	token    string
 	// dataMu serializes the real byte copies against data (and the sealed
 	// flag governing them), letting the payload memcpy of concurrent tasks
 	// proceed outside the manager lock. Lock order: m.mu before dataMu;
@@ -160,6 +167,9 @@ type Manager struct {
 	buddies map[string]*allocator.Buddy
 	backing map[int64][][]byte // block size → recycled zeroed data backings
 	secret  [32]byte           // root key material for confidential regions
+	// exporter, when set, is the remote memory pool cold regions can be
+	// evicted to (export.go). Nil keeps all tiering node-local.
+	exporter Exporter
 
 	// missLatency prices a coherence protocol action when the effective-caps
 	// lookup for the accessing compute fails (disconnected topology). The
@@ -375,9 +385,20 @@ func (m *Manager) lookup(h *Handle) (*Region, error) {
 	return r, nil
 }
 
-// free releases the region's resources. Caller holds m.mu.
+// free releases the region's resources. An exported region holds no local
+// space — only its remote placement is dropped. Caller holds m.mu.
 func (m *Manager) free(r *Region) {
 	r.freed = true
+	if r.exported {
+		if m.exporter != nil {
+			m.exporter.Drop(r.token) //nolint:errcheck // remote GC is best-effort
+		}
+		m.dir.DropRegion(uint64(r.id))
+		delete(m.regions, r.id)
+		m.reg.Add(telemetry.LayerRegion, "frees", 1)
+		m.reg.Add(telemetry.LayerRegion, "bytes_allocated", -r.blockSize)
+		return
+	}
 	if b, ok := m.buddies[r.device.ID]; ok {
 		b.Free(r.offset) //nolint:errcheck // offset tracked by the manager
 	}
@@ -406,6 +427,9 @@ func (m *Manager) DeviceBytes() map[string]int64 {
 	defer m.mu.Unlock()
 	out := make(map[string]int64)
 	for _, r := range m.regions {
+		if r.exported {
+			continue // lives in the remote pool, not on a local device
+		}
 		out[r.device.ID] += r.blockSize
 	}
 	return out

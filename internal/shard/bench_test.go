@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/props"
 )
 
 // benchStallJob is the serving workload: a three-stage chain whose stages
@@ -134,4 +136,131 @@ func BenchmarkServeSharded(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchMigrateJob is the rebalance workload: produce fills a job-wide
+// 64 KiB global, hold parks the job (signalling started, waiting on
+// release) so the sweep window is open, and consume reads every byte back.
+// Exactly one evictable region per job, so the export/recall counts per
+// iteration are an exact function of the job count.
+func benchMigrateJob(name string, started chan<- struct{}, release <-chan struct{}) *dataflow.Job {
+	j := dataflow.NewJob(name)
+	payload := migratePayload(name, migrateRegionBytes)
+	produce := j.Task("produce", dataflow.Props{Ops: 1e6}, func(ctx dataflow.Ctx) error {
+		st, err := ctx.Global("state", props.GlobalScratch, migrateRegionBytes)
+		if err != nil {
+			return err
+		}
+		now, err := st.WriteAsync(ctx.Now(), 0, payload).Await(ctx.Now())
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		return nil
+	})
+	hold := j.Task("hold", dataflow.Props{Ops: 1e5}, func(ctx dataflow.Ctx) error {
+		if started != nil {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+		}
+		if release != nil {
+			<-release
+		}
+		return nil
+	})
+	consume := j.Task("consume", dataflow.Props{Ops: 1e6}, func(ctx dataflow.Ctx) error {
+		st, err := ctx.Global("state", props.GlobalScratch, migrateRegionBytes)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, migrateRegionBytes)
+		now, err := st.ReadAsync(ctx.Now(), 0, buf).Await(ctx.Now())
+		if err != nil {
+			return err
+		}
+		ctx.Wait(now)
+		if !bytes.Equal(buf, payload) {
+			return fmt.Errorf("payload corrupted across migration")
+		}
+		return nil
+	})
+	produce.Then(hold)
+	hold.Then(consume)
+	return j
+}
+
+// BenchmarkClusterRebalance is the migration acceptance benchmark: 8 jobs
+// park with one cold 64 KiB region each on a 2-shard cluster, maintenance
+// sweeps export every region to the remote shard's pool, and the released
+// consumers recall them on read. The exported/op and recalled/op metrics
+// are exact (8 regions, each exported once and recalled once), so
+// bench-smoke gates them at zero tolerance; the first iteration also
+// asserts each report byte-identical to a solo run that never migrated.
+func BenchmarkClusterRebalance(b *testing.B) {
+	const jobCount = 8
+	cfg := evictingConfig(2)
+	// All jobs must park at hold concurrently, so every shard needs enough
+	// epoch workers and batch slots to run the full wave at once.
+	cfg.Server.EpochWorkers = jobCount
+	cfg.Server.MaxBatch = jobCount
+	cfg.Server.QueueDepth = 2 * jobCount
+	cfg.Server.Block = true
+	c, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close(context.Background()) //nolint:errcheck
+
+	names := make([]string, jobCount)
+	solo := make([]string, jobCount)
+	for k := range names {
+		names[k] = fmt.Sprintf("reb-%d", k)
+		solo[k] = soloReport(b, benchMigrateJob(names[k], nil, nil)).String()
+	}
+
+	var exported, recalled, bytesOut int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := c.MigrationStats()
+		started := make(chan struct{}, jobCount)
+		release := make(chan struct{})
+		tks := make([]*core.Ticket, jobCount)
+		for k, n := range names {
+			tk, err := c.SubmitAsync(context.Background(), benchMigrateJob(n, started, release))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tks[k] = tk
+		}
+		for k := 0; k < jobCount; k++ {
+			<-started
+		}
+		// Sweep until every parked region has been exported to the remote
+		// pool (heat decays one step per sweep, so a few passes suffice).
+		for c.MigrationStats().Exported-before.Exported < jobCount {
+			c.Rebalance(0)
+		}
+		close(release)
+		for k, tk := range tks {
+			rep, err := tk.Wait(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				if got := rep.String(); got != solo[k] {
+					b.Fatalf("%s: migrated report diverges from solo:\n got: %s\nwant: %s", names[k], got, solo[k])
+				}
+			}
+		}
+		after := c.MigrationStats()
+		exported += after.Exported - before.Exported
+		recalled += after.Recalled - before.Recalled
+		bytesOut += int(after.BytesOut - before.BytesOut)
+	}
+	b.ReportMetric(float64(exported)/float64(b.N), "exported/op")
+	b.ReportMetric(float64(recalled)/float64(b.N), "recalled/op")
+	b.ReportMetric(float64(bytesOut)/float64(b.N), "migrated-B/op")
 }

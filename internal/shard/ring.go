@@ -86,6 +86,34 @@ func buildRing(names []string, weights []int, vnodes int) *ring {
 	return r
 }
 
+// walkFrom lists the distinct alive shards in ring order starting just
+// after shard's first point, excluding shard itself — the spill-target
+// preference order for cross-shard region migration. Pure function of
+// (ring, membership), like successor: every shard computes the same walk.
+func (r *ring) walkFrom(shard int, alive func(int) bool) []int {
+	n := len(r.points)
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	for i, p := range r.points {
+		if p.shard == shard {
+			start = i + 1
+			break
+		}
+	}
+	var out []int
+	seen := map[int]bool{shard: true}
+	for i := 0; i < n; i++ {
+		p := r.points[(start+i)%n]
+		if !seen[p.shard] && alive(p.shard) {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
 // successor returns the first alive shard at or after key on the circle,
 // or -1 when no alive shard exists. alive(i) reports shard i's health.
 func (r *ring) successor(key uint64, alive func(int) bool) int {

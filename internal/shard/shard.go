@@ -62,6 +62,23 @@ type Config struct {
 	// work — the router-side load view Stats reports. Off by default:
 	// it costs one HEFT preamble per submission.
 	TrackLoad bool
+	// Migrate enables cross-shard region migration: every shard gets a
+	// cluster.RegionPool wired into its region manager as the remote
+	// exporter, and Rebalance sweeps may evict cold regions past the local
+	// tier hierarchy into the ring successors' fabric memory. Payloads are
+	// mirrored into the cluster-shared checkpoint store, so a region
+	// survives the crash of the memory node hosting its slab.
+	Migrate bool
+	// PoolBytes is the extra fabric capacity each shard node exports for
+	// other shards' migrated regions (default 64 MiB; Migrate only).
+	PoolBytes int64
+	// SpillWatermark caps a remote host's fill fraction for migrated
+	// regions (default 0.9; Migrate only).
+	SpillWatermark float64
+	// Rebalance is the tiering policy Cluster.Rebalance sweeps run with.
+	// With Migrate on and EvictWatermark unset, EvictWatermark defaults to
+	// 0.95 so only genuinely full devices shed regions to the cluster.
+	Rebalance region.RebalancePolicy
 }
 
 // Shard is one serving shard: a core.Server over its own runtime, a fabric
@@ -72,6 +89,7 @@ type Shard struct {
 	name string // fabric node name
 	srv  *core.Server
 	c    *Cluster
+	pool *cluster.RegionPool // remote-exporter for this shard's regions; nil without Migrate
 
 	mu        sync.Mutex
 	down      bool
@@ -139,8 +157,12 @@ type ShardStats struct {
 	// AdmissionSig fingerprints the shard's decision stream (FNV-64a).
 	AdmissionSig string
 	// Fabric counts the verbs/bytes that hit this shard's fabric node —
-	// ledger writes and failover transfers.
+	// ledger writes, failover transfers, and migrated region payloads
+	// parked here by other shards.
 	Fabric cluster.NodeStats
+	// Migration counts the regions this shard exported to (and recalled
+	// from) the cluster pool. Zero-valued without Config.Migrate.
+	Migration cluster.RegionPoolStats
 }
 
 // Cluster is the sharded serving front end. Submissions are routed by
@@ -150,15 +172,16 @@ type ShardStats struct {
 // single submitting goroutine (same as the admission model's decision
 // order).
 type Cluster struct {
-	cfg    Config
-	fabric *cluster.Fabric
-	ring   *ring
-	shards []*Shard
-	tel    *telemetry.Registry
-	ck     *core.Checkpointer // shared across shards; nil without recovery
-	seq    atomic.Uint64      // routed ticket ids
-	wg     sync.WaitGroup     // in-flight watchers
-	closed atomic.Bool
+	cfg     Config
+	fabric  *cluster.Fabric
+	ring    *ring
+	shards  []*Shard
+	tel     *telemetry.Registry
+	ck      *core.Checkpointer // shared across shards; nil without recovery
+	ckStore fault.Store        // backing store for ck and migration backups; nil without either
+	seq     atomic.Uint64      // routed ticket ids
+	wg      sync.WaitGroup     // in-flight watchers
+	closed  atomic.Bool
 }
 
 // NewCluster builds the fabric, the shards (each with a private runtime),
@@ -174,6 +197,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.SlabBytes <= 0 {
 		cfg.SlabBytes = 1 << 20
 	}
+	if cfg.Migrate {
+		if cfg.PoolBytes <= 0 {
+			cfg.PoolBytes = 64 << 20
+		}
+		if cfg.SpillWatermark <= 0 {
+			cfg.SpillWatermark = 0.9
+		}
+		if cfg.Rebalance.EvictWatermark <= 0 {
+			cfg.Rebalance.EvictWatermark = 0.95
+		}
+	}
 	if cfg.Server.Runtime != nil || cfg.Server.Topology != nil {
 		return nil, errors.New("shard: Server.Runtime/Topology must be nil — every shard builds its own")
 	}
@@ -183,11 +217,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, fabric: cluster.NewFabric(cfg.Fabric), tel: tel}
 
-	// Cross-shard failover replay: one checkpointer shared by every
-	// shard's server, over a 2-way replicated store on a private
-	// checkpoint fabric (pmem nodes) — a shard crash costs at most one
-	// replica of any snapshot.
-	if cfg.Server.Recovery != nil {
+	// Cross-shard durable state: one 2-way replicated store on a private
+	// checkpoint fabric (pmem nodes), shared by every shard — a node crash
+	// costs at most one replica of any snapshot. Failover replay uses it
+	// through the shared checkpointer; migration mirrors exported region
+	// payloads into it so a region survives its slab host's death.
+	if cfg.Server.Recovery != nil || cfg.Migrate {
 		ckFabric := cluster.NewFabric(cfg.Fabric)
 		for i := 0; i < 3; i++ {
 			if err := ckFabric.AddNode(fmt.Sprintf("pmem%d", i), 1<<28); err != nil {
@@ -198,7 +233,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.ck = core.NewCheckpointer(store)
+		c.ckStore = store
+		if cfg.Server.Recovery != nil {
+			c.ck = core.NewCheckpointer(store)
+		}
 	}
 
 	names := make([]string, cfg.Shards)
@@ -220,7 +258,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // buildShard constructs one shard: fabric node + leased ledger slab +
 // server over a private runtime.
 func (c *Cluster) buildShard(i int, name string) (*Shard, error) {
-	if err := c.fabric.AddNode(name, c.cfg.SlabBytes); err != nil {
+	// With migration on, each shard node exports PoolBytes beyond its
+	// ledger: the memory other shards park cold regions in.
+	capacity := c.cfg.SlabBytes
+	if c.cfg.Migrate {
+		capacity += c.cfg.PoolBytes
+	}
+	if err := c.fabric.AddNode(name, capacity); err != nil {
 		return nil, err
 	}
 	sh := &Shard{id: i, name: name, c: c}
@@ -257,8 +301,74 @@ func (c *Cluster) buildShard(i int, name string) (*Shard, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.cfg.Migrate {
+		sh.pool = cluster.NewRegionPool(
+			c.fabric, name,
+			func(int64) []string { return c.spillTargets(i) },
+			c.cfg.SpillWatermark,
+			&storeBackup{st: c.ckStore, ids: make(map[string]fault.ObjectID)},
+			c.tel,
+		)
+		rt.Regions().SetExporter(sh.pool)
+	}
 	sh.active = make(map[uint64]context.CancelFunc)
 	return sh, nil
+}
+
+// spillTargets lists the alive shards' fabric nodes in ring order after
+// shard i — the preference order shard i's region pool exports to. Never
+// includes the shard itself: spilling home would be a no-op tier.
+func (c *Cluster) spillTargets(i int) []string {
+	idxs := c.ring.walkFrom(i, c.alive)
+	out := make([]string, len(idxs))
+	for j, idx := range idxs {
+		out[j] = c.shards[idx].name
+	}
+	return out
+}
+
+// storeBackup adapts the cluster-shared fault.Store to the narrow
+// cluster.Backup interface a RegionPool mirrors payloads into (the region
+// analogue of checkpoint snapshots; same pmem fabric, same replication).
+type storeBackup struct {
+	st  fault.Store
+	mu  sync.Mutex
+	ids map[string]fault.ObjectID
+}
+
+func (b *storeBackup) Save(key string, data []byte) (time.Duration, error) {
+	id, d, err := b.st.Put(data)
+	if err != nil {
+		return d, err
+	}
+	b.mu.Lock()
+	old, had := b.ids[key]
+	b.ids[key] = id
+	b.mu.Unlock()
+	if had {
+		b.st.Delete(old) //nolint:errcheck // replaced snapshot; best-effort GC
+	}
+	return d, nil
+}
+
+func (b *storeBackup) Load(key string) ([]byte, time.Duration, error) {
+	b.mu.Lock()
+	id, ok := b.ids[key]
+	b.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("shard: no backup under %q", key)
+	}
+	return b.st.Get(id)
+}
+
+func (b *storeBackup) Discard(key string) {
+	b.mu.Lock()
+	id, ok := b.ids[key]
+	delete(b.ids, key)
+	b.mu.Unlock()
+	if ok {
+		b.st.Delete(id) //nolint:errcheck // best-effort GC
+	}
 }
 
 // leaseLedger allocates and leases a fresh ledger slab for the shard.
@@ -408,6 +518,18 @@ func (c *Cluster) markDown(sh *Shard) {
 		c.tel.Add(telemetry.LayerRuntime, "shard_down", 1)
 		for _, cf := range cancels {
 			cf()
+		}
+		if sh.pool != nil {
+			// Adoption sweep: the ring successor takes over the dead shard's
+			// exported-region leases (control-plane Handoff) and reclaims the
+			// slabs. The payloads are useless without the dead shard's region
+			// table — its jobs re-materialize from checkpoints on re-route —
+			// so freeing the memory is the disposition, not copying it.
+			adopter := ""
+			if next := c.ring.walkFrom(sh.id, c.alive); len(next) > 0 {
+				adopter = c.shards[next[0]].name
+			}
+			sh.pool.Abandon(adopter)
 		}
 	}
 }
@@ -728,6 +850,9 @@ func (c *Cluster) Stats() []ShardStats {
 			AdmissionSig:  sh.admissionSig(),
 			Fabric:        byNode[sh.name],
 		}
+		if sh.pool != nil {
+			out[i].Migration = sh.pool.Stats()
+		}
 	}
 	return out
 }
@@ -736,20 +861,42 @@ func (c *Cluster) Stats() []ShardStats {
 // shard's runtime — the maintenance pass a production cluster runs
 // concurrently with serving. Each sweep prices its migrations inside a
 // private epoch (region.RebalanceIn), so serving batches never observe
-// its backlog. Returns the number of regions moved.
+// its backlog. With Config.Migrate, the sweep additionally evicts regions
+// that went cold past the local tiers into the ring successors' pools and
+// recalls exported regions that ran hot. Returns the number of regions
+// moved (local migrations + exports + recalls).
 func (c *Cluster) Rebalance(now time.Duration) int {
 	moved := 0
 	for _, sh := range c.shards {
 		if sh.isDown() {
 			continue
 		}
-		rt := sh.srv.Runtime()
-		stats, err := rt.Regions().RebalanceIn(rt.Topology().NewEpoch(), now, region.RebalancePolicy{})
+		stats, err := sh.srv.Rebalance(now, c.cfg.Rebalance)
 		if err == nil {
-			moved += stats.Promoted + stats.Demoted
+			moved += stats.Promoted + stats.Demoted + stats.Exported + stats.Recalled
 		}
 	}
 	return moved
+}
+
+// MigrationStats sums every shard's region-pool counters — the cluster-wide
+// view of cross-shard region traffic. Zero-valued without Config.Migrate.
+func (c *Cluster) MigrationStats() cluster.RegionPoolStats {
+	var out cluster.RegionPoolStats
+	for _, sh := range c.shards {
+		if sh.pool == nil {
+			continue
+		}
+		st := sh.pool.Stats()
+		out.Exported += st.Exported
+		out.Recalled += st.Recalled
+		out.HostLost += st.HostLost
+		out.BytesOut += st.BytesOut
+		out.BytesBack += st.BytesBack
+		out.VerbTime += st.VerbTime
+		out.Live += st.Live
+	}
+	return out
 }
 
 // Close stops admission, drains every shard (down ones included — their

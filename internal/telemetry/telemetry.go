@@ -26,6 +26,7 @@ const (
 	LayerCoherence Layer = "coherence"
 	LayerFault     Layer = "fault"
 	LayerDevice    Layer = "device"
+	LayerCluster   Layer = "cluster"
 )
 
 // Registry collects counters and spans. The zero value is unusable; use
